@@ -1,0 +1,135 @@
+// Command gfctl is the operator tool: it loads a textual pipeline program
+// (ovs-ofctl-style; see internal/ofp), attaches a Gigaflow (or Megaflow)
+// cache, and processes flow keys read from stdin — one per line — printing
+// each packet's verdict and whether the hardware cache served it.
+//
+// Usage:
+//
+//	gfctl -rules prog.txt                      # interactive / piped keys
+//	gfctl -rules prog.txt -dump                # print the normalized program
+//	echo "ip_dst=10.0.0.1,tp_dst=80" | gfctl -rules prog.txt
+//
+// Besides flow keys, stdin accepts commands:
+//
+//	!stats        print vSwitch counters
+//	!entries      print every cache entry
+//	!revalidate   re-check the cache against the (possibly edited) rules
+//	!coverage     print the cache's rule-space coverage
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"gigaflow"
+)
+
+func main() {
+	var (
+		rulesPath = flag.String("rules", "", "pipeline program file (required)")
+		dump      = flag.Bool("dump", false, "print the normalized program and exit")
+		cache     = flag.String("cache", "gigaflow", "cache backend (gigaflow|megaflow)")
+		tables    = flag.Int("tables", 4, "Gigaflow tables")
+		capacity  = flag.Int("cap", 8192, "per-table capacity (gigaflow) or total (megaflow)")
+	)
+	flag.Parse()
+	if *rulesPath == "" {
+		fmt.Fprintln(os.Stderr, "gfctl: -rules is required")
+		os.Exit(2)
+	}
+	f, err := os.Open(*rulesPath)
+	if err != nil {
+		fail(err)
+	}
+	p, err := gigaflow.LoadPipeline(f)
+	f.Close()
+	if err != nil {
+		fail(err)
+	}
+	if *dump {
+		if err := gigaflow.DumpPipeline(os.Stdout, p); err != nil {
+			fail(err)
+		}
+		return
+	}
+
+	opts := []gigaflow.VSwitchOption{}
+	if *cache == "megaflow" {
+		opts = append(opts, gigaflow.WithMegaflowBackend(*capacity))
+	} else if *cache != "gigaflow" {
+		fmt.Fprintf(os.Stderr, "gfctl: unknown cache %q\n", *cache)
+		os.Exit(2)
+	}
+	vs := gigaflow.NewVSwitch(p, gigaflow.CacheConfig{NumTables: *tables, TableCapacity: *capacity}, opts...)
+
+	fmt.Fprintf(os.Stderr, "gfctl: %s loaded (%d tables, %d rules); reading keys from stdin\n",
+		p.Name, p.NumTables(), p.NumRules())
+	sc := bufio.NewScanner(os.Stdin)
+	var clock int64
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if strings.HasPrefix(line, "!") {
+			command(vs, line)
+			continue
+		}
+		k, err := gigaflow.ParseKey(line)
+		if err != nil {
+			fmt.Printf("error: %v\n", err)
+			continue
+		}
+		clock += 1_000_000
+		res, err := vs.Process(k, clock)
+		if err != nil {
+			fmt.Printf("error: %v\n", err)
+			continue
+		}
+		src := "slowpath"
+		if res.CacheHit {
+			src = "cache"
+		}
+		fmt.Printf("%-10s via %-8s final %s\n", res.Verdict, src, res.Final)
+	}
+	if err := sc.Err(); err != nil {
+		fail(err)
+	}
+	command(vs, "!stats")
+}
+
+func command(vs *gigaflow.VSwitch, line string) {
+	switch line {
+	case "!stats":
+		st := vs.Stats()
+		fmt.Printf("packets=%d hits=%d misses=%d slowpath=%d installs=%d hit-rate=%.1f%% entries=%d\n",
+			st.Packets, st.CacheHits, st.CacheMisses, st.Slowpath, st.Installs,
+			100*st.HitRate(), vs.CacheEntries())
+	case "!coverage":
+		fmt.Printf("coverage=%d megaflow-equivalent rules over %d entries\n", vs.Coverage(), vs.CacheEntries())
+	case "!entries":
+		c := vs.Cache()
+		if c == nil {
+			fmt.Println("megaflow backend: entry dump not supported")
+			return
+		}
+		for i := 0; i < c.NumTables(); i++ {
+			for _, e := range c.Entries(i) {
+				fmt.Printf("GF%d %s\n", i+1, e)
+			}
+		}
+	case "!revalidate":
+		ev, work := vs.Revalidate()
+		fmt.Printf("revalidated: evicted=%d replayed-lookups=%d\n", ev, work)
+	default:
+		fmt.Printf("unknown command %q (try !stats, !entries, !coverage, !revalidate)\n", line)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "gfctl: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,130 @@
+// Command gfsim runs one end-to-end simulation: a real-world pipeline
+// populated by Pipebench, a packet trace, and a hardware cache (Gigaflow
+// or Megaflow), printing a full report: hit rate, misses, entries,
+// coverage, sharing, latency distribution, and CPU-cycle breakdown.
+//
+// Usage:
+//
+//	gfsim -pipeline OLS -cache gigaflow -tables 4 -cap 8192 -flows 100000
+//	gfsim -pipeline OLS -cache megaflow -cap 32768 -locality low
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"gigaflow/internal/pipebench"
+	"gigaflow/internal/pipelines"
+	"gigaflow/internal/sim"
+	"gigaflow/internal/stats"
+	"gigaflow/internal/traffic"
+)
+
+func main() {
+	var (
+		pipeName = flag.String("pipeline", "PSC", "pipeline (OFD|PSC|OLS|ANT|OTL)")
+		cache    = flag.String("cache", "gigaflow", "cache kind (gigaflow|megaflow)")
+		tables   = flag.Int("tables", 4, "Gigaflow tables (K)")
+		capacity = flag.Int("cap", 8192, "per-table capacity (gigaflow) or total (megaflow)")
+		scheme   = flag.String("scheme", "dp", "partitioning scheme (dp|rnd|1-1|prof)")
+		search   = flag.String("search", "tss", "software search algorithm (tss|nm)")
+		offload  = flag.Bool("offload", true, "cache on the SmartNIC (false: CPU-resident)")
+		flows    = flag.Int("flows", 100000, "unique flows")
+		chains   = flag.Int("chains", 0, "rule chains (0: paper default)")
+		locality = flag.String("locality", "high", "traffic locality (high|low)")
+		cores    = flag.Int("cores", 1, "slowpath CPU cores")
+		seed     = flag.Int64("seed", 1, "seed")
+	)
+	flag.Parse()
+
+	spec, ok := pipelines.ByName(*pipeName)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "gfsim: unknown pipeline %q\n", *pipeName)
+		os.Exit(2)
+	}
+	pcfg := pipebench.PaperConfig(spec, *seed)
+	if *chains > 0 {
+		pcfg.NumChains = *chains
+	}
+	w, err := pipebench.Generate(pcfg)
+	if err != nil {
+		fail(err)
+	}
+
+	loc := traffic.HighLocality
+	if *locality == "low" {
+		loc = traffic.LowLocality
+	}
+	trace := sim.BuildTrace(w, *flows, loc, *seed+2)
+
+	cfg := sim.Config{Offloaded: *offload, Cores: *cores, Seed: *seed}
+	switch *cache {
+	case "gigaflow":
+		cfg.Kind = sim.Gigaflow
+		cfg.NumTables = *tables
+		cfg.TableCapacity = *capacity
+	case "megaflow":
+		cfg.Kind = sim.Megaflow
+		cfg.MegaflowCapacity = *capacity
+	default:
+		fmt.Fprintf(os.Stderr, "gfsim: unknown cache %q\n", *cache)
+		os.Exit(2)
+	}
+	switch *scheme {
+	case "dp":
+	case "rnd":
+		cfg.Scheme = 1
+	case "1-1":
+		cfg.Scheme = 2
+	case "prof":
+		cfg.Scheme = 3
+	default:
+		fmt.Fprintf(os.Stderr, "gfsim: unknown scheme %q\n", *scheme)
+		os.Exit(2)
+	}
+	if *search == "nm" {
+		cfg.Search = sim.NM
+	}
+
+	res, err := sim.Run(w, trace, cfg)
+	if err != nil {
+		fail(err)
+	}
+
+	fmt.Printf("pipeline    %s (%d tables, %d traversals, %d rules installed)\n",
+		spec.Name, spec.NumTables(), spec.NumTraversals(), w.Pipeline.NumRules())
+	fmt.Printf("trace       %d flows, %d packets, %s locality\n", *flows, len(trace), loc)
+	fmt.Printf("cache       %s offloaded=%v\n\n", cfg.Label(), *offload)
+
+	t := &stats.Table{Headers: []string{"metric", "value"}}
+	t.AddRow("packets", res.Packets)
+	t.AddRow("hits", res.Hits)
+	t.AddRow("misses", res.Misses)
+	t.AddRow("hit rate", fmt.Sprintf("%.2f%%", 100*res.HitRate()))
+	t.AddRow("stalled chains", res.Stalls)
+	t.AddRow("entries used", fmt.Sprintf("%d / %d", res.Entries, res.Capacity))
+	t.AddRow("rule-space coverage", res.Coverage)
+	t.AddRow("mean sharing (installs/entry)", res.MeanSharing)
+	t.AddRow("insert failures", res.InsertFailures)
+	t.AddRow("latency mean", fmt.Sprintf("%.2f µs", res.Latency.Mean()/1000))
+	t.AddRow("latency p50", fmt.Sprintf("%.2f µs", res.Latency.Quantile(0.5)/1000))
+	t.AddRow("latency p99", fmt.Sprintf("%.2f µs", res.Latency.Quantile(0.99)/1000))
+	t.AddRow("cycles: pipeline", res.Cycles.Pipeline)
+	t.AddRow("cycles: partitioning", res.Cycles.Partition)
+	t.AddRow("cycles: rule generation", res.Cycles.RuleGen)
+	t.AddRow("slowpath capacity", fmt.Sprintf("%.2f Mpps (%d cores)", res.Throughput.SlowpathPps/1e6, *cores))
+	t.AddRow("max loss-free offered load", fmt.Sprintf("%.2f Mpps", res.Throughput.MaxOfferedPps/1e6))
+	t.AddRow("aggregate throughput", fmt.Sprintf("%.1f Gbps (line rate %.0f)", res.Throughput.AggregateGbps, res.Throughput.LineRateGbps))
+	if *cores > 1 {
+		for i, c := range res.PerCore {
+			t.AddRow(fmt.Sprintf("core %d misses", i), c.Misses)
+		}
+	}
+	fmt.Println(t.Render())
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "gfsim: %v\n", err)
+	os.Exit(1)
+}

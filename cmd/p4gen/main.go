@@ -1,0 +1,26 @@
+// Command p4gen emits the Gigaflow LTM cache pipeline as a P4-16 program
+// (the paper's §5 SmartNIC artifact, Figure 6 structure).
+//
+//	p4gen -tables 4 -size 8192 > gigaflow.p4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"gigaflow/internal/p4gen"
+)
+
+func main() {
+	var (
+		tables = flag.Int("tables", 4, "LTM tables (K)")
+		size   = flag.Int("size", 8192, "entries per table")
+		name   = flag.String("name", "gigaflow", "program name stem")
+	)
+	flag.Parse()
+	if _, err := fmt.Print(p4gen.Generate(p4gen.Config{NumTables: *tables, TableSize: *size, Program: *name})); err != nil {
+		fmt.Fprintf(os.Stderr, "p4gen: %v\n", err)
+		os.Exit(1)
+	}
+}

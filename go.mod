@@ -1,0 +1,3 @@
+module gigaflow
+
+go 1.22

@@ -1,0 +1,148 @@
+package flow
+
+import "fmt"
+
+// ActionType discriminates the kinds of actions a rule can carry.
+type ActionType uint8
+
+const (
+	// ActionSetField rewrites (part of) a header field.
+	ActionSetField ActionType = iota
+	// ActionOutput forwards the packet to a port and terminates processing.
+	ActionOutput
+	// ActionDrop discards the packet and terminates processing.
+	ActionDrop
+)
+
+// Action is one packet-processing primitive. Actions are plain comparable
+// values so that rule-generation code can diff and deduplicate them.
+type Action struct {
+	Type  ActionType
+	Field FieldID // ActionSetField only
+	Value uint64  // SetField value, or Output port number
+	Mask  uint64  // SetField bit mask; full field width for a whole-field set
+}
+
+// SetField builds an action rewriting all of field f to v.
+func SetField(f FieldID, v uint64) Action {
+	return Action{Type: ActionSetField, Field: f, Value: v & f.MaxValue(), Mask: f.MaxValue()}
+}
+
+// SetFieldMasked builds an action rewriting only the bits of f under mask.
+func SetFieldMasked(f FieldID, v, mask uint64) Action {
+	mask &= f.MaxValue()
+	return Action{Type: ActionSetField, Field: f, Value: v & mask, Mask: mask}
+}
+
+// Output builds an action forwarding the packet to port.
+func Output(port uint16) Action {
+	return Action{Type: ActionOutput, Value: uint64(port)}
+}
+
+// Drop builds an action discarding the packet.
+func Drop() Action { return Action{Type: ActionDrop} }
+
+// String renders the action in OVS-like notation.
+func (a Action) String() string {
+	switch a.Type {
+	case ActionSetField:
+		if a.Mask == a.Field.MaxValue() {
+			return fmt.Sprintf("set(%s=%s)", a.Field, FormatValue(a.Field, a.Value))
+		}
+		return fmt.Sprintf("set(%s=%s/0x%x)", a.Field, FormatValue(a.Field, a.Value), a.Mask)
+	case ActionOutput:
+		return fmt.Sprintf("output(%d)", a.Value)
+	case ActionDrop:
+		return "drop"
+	default:
+		return fmt.Sprintf("action(%d)", a.Type)
+	}
+}
+
+// VerdictKind classifies the fate of a packet after executing an action
+// list.
+type VerdictKind uint8
+
+const (
+	// VerdictNone means processing continues (no terminal action seen).
+	VerdictNone VerdictKind = iota
+	// VerdictOutput means the packet was forwarded.
+	VerdictOutput
+	// VerdictDrop means the packet was discarded.
+	VerdictDrop
+)
+
+// Verdict is the terminal outcome of processing, if any.
+type Verdict struct {
+	Kind VerdictKind
+	Port uint16 // valid when Kind == VerdictOutput
+}
+
+// Terminal reports whether the verdict ends packet processing.
+func (v Verdict) Terminal() bool { return v.Kind != VerdictNone }
+
+// String renders the verdict.
+func (v Verdict) String() string {
+	switch v.Kind {
+	case VerdictOutput:
+		return fmt.Sprintf("output(%d)", v.Port)
+	case VerdictDrop:
+		return "drop"
+	default:
+		return "continue"
+	}
+}
+
+// Apply executes the action list against key k, returning the rewritten key
+// and the terminal verdict (if any). Actions after a terminal action are
+// ignored, mirroring switch semantics.
+func Apply(k Key, actions []Action) (Key, Verdict) {
+	for _, a := range actions {
+		switch a.Type {
+		case ActionSetField:
+			k = k.WithMasked(a.Field, a.Value, a.Mask)
+		case ActionOutput:
+			return k, Verdict{Kind: VerdictOutput, Port: uint16(a.Value)}
+		case ActionDrop:
+			return k, Verdict{Kind: VerdictDrop}
+		}
+	}
+	return k, Verdict{}
+}
+
+// Commit computes the set-field actions that transform `from` into `to`:
+// the "commit" of §4.2.3, recording the differences between the flow at the
+// start and end of a sub-traversal.
+func Commit(from, to Key) []Action {
+	var out []Action
+	for f := FieldID(0); f < NumFields; f++ {
+		if from[f] != to[f] {
+			out = append(out, SetField(f, to[f]))
+		}
+	}
+	return out
+}
+
+// WrittenFields returns the set of fields the action list may modify.
+func WrittenFields(actions []Action) FieldSet {
+	var s FieldSet
+	for _, a := range actions {
+		if a.Type == ActionSetField {
+			s = s.Add(a.Field)
+		}
+	}
+	return s
+}
+
+// ActionsEqual reports whether two action lists are element-wise identical.
+func ActionsEqual(a, b []Action) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

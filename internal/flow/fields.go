@@ -1,0 +1,176 @@
+// Package flow models packet header flows as fixed-width field vectors with
+// per-bit wildcard masks, plus the match predicates and set-field actions
+// used throughout the vSwitch pipeline and the Gigaflow/Megaflow caches.
+//
+// The field set is the nine packet headers matched ternarily by the
+// paper's LTM table (Figure 6) — ingress port, Ethernet
+// source/destination/type, IPv4 source/destination/protocol, and transport
+// source/destination ports — plus the pipeline metadata register real
+// vSwitch pipelines steer with.
+package flow
+
+import "fmt"
+
+// FieldID identifies one header field of a flow key.
+type FieldID uint8
+
+// The fields of a flow key, in canonical order: the nine packet headers of
+// the paper's LTM table (Figure 6) plus the pipeline metadata register
+// (OVS reg/conntrack-mark equivalent) that real vSwitch pipelines use for
+// inter-table steering. Metadata is zero when a packet enters the pipeline
+// and only ever takes values the pipeline's own actions write, so cache
+// rules composed over it remain functions of the packet headers.
+const (
+	FieldInPort  FieldID = iota // ingress port
+	FieldEthSrc                 // Ethernet source MAC
+	FieldEthDst                 // Ethernet destination MAC
+	FieldEthType                // Ethernet type
+	FieldIPSrc                  // IPv4 source address
+	FieldIPDst                  // IPv4 destination address
+	FieldIPProto                // IPv4 protocol
+	FieldTpSrc                  // transport (TCP/UDP) source port
+	FieldTpDst                  // transport (TCP/UDP) destination port
+	FieldMeta                   // pipeline metadata register (not a header)
+
+	// NumFields is the number of fields in a flow key.
+	NumFields = 10
+)
+
+// fieldWidths holds the bit width of each field.
+var fieldWidths = [NumFields]uint{
+	FieldInPort:  16,
+	FieldEthSrc:  48,
+	FieldEthDst:  48,
+	FieldEthType: 16,
+	FieldIPSrc:   32,
+	FieldIPDst:   32,
+	FieldIPProto: 8,
+	FieldTpSrc:   16,
+	FieldTpDst:   16,
+	FieldMeta:    16,
+}
+
+// fieldNames holds the canonical display name of each field.
+var fieldNames = [NumFields]string{
+	FieldInPort:  "in_port",
+	FieldEthSrc:  "eth_src",
+	FieldEthDst:  "eth_dst",
+	FieldEthType: "eth_type",
+	FieldIPSrc:   "ip_src",
+	FieldIPDst:   "ip_dst",
+	FieldIPProto: "ip_proto",
+	FieldTpSrc:   "tp_src",
+	FieldTpDst:   "tp_dst",
+	FieldMeta:    "metadata",
+}
+
+// HeaderFields is the set of real packet-header fields (everything except
+// the metadata register). The disjointness analysis partitions over these.
+const HeaderFields = AllFields &^ (1 << FieldMeta)
+
+// Width reports the bit width of field f.
+func (f FieldID) Width() uint { return fieldWidths[f] }
+
+// MaxValue reports the largest value representable in field f.
+func (f FieldID) MaxValue() uint64 {
+	w := fieldWidths[f]
+	if w >= 64 {
+		return ^uint64(0)
+	}
+	return (uint64(1) << w) - 1
+}
+
+// Valid reports whether f names one of the NumFields header fields.
+func (f FieldID) Valid() bool { return f < NumFields }
+
+// String returns the canonical field name, e.g. "ip_dst".
+func (f FieldID) String() string {
+	if !f.Valid() {
+		return fmt.Sprintf("field(%d)", uint8(f))
+	}
+	return fieldNames[f]
+}
+
+// FieldByName resolves a canonical field name to its FieldID.
+func FieldByName(name string) (FieldID, bool) {
+	for i, n := range fieldNames {
+		if n == name {
+			return FieldID(i), true
+		}
+	}
+	return 0, false
+}
+
+// FieldSet is a bitset of FieldIDs. It is the currency of the disjointness
+// analysis in the sub-traversal partitioner: two tables are disjoint when
+// their FieldSets do not intersect.
+type FieldSet uint16
+
+// NewFieldSet builds a set containing the given fields.
+func NewFieldSet(fields ...FieldID) FieldSet {
+	var s FieldSet
+	for _, f := range fields {
+		s = s.Add(f)
+	}
+	return s
+}
+
+// Add returns s with field f included.
+func (s FieldSet) Add(f FieldID) FieldSet { return s | 1<<f }
+
+// Remove returns s with field f excluded.
+func (s FieldSet) Remove(f FieldID) FieldSet { return s &^ (1 << f) }
+
+// Contains reports whether f is in the set.
+func (s FieldSet) Contains(f FieldID) bool { return s&(1<<f) != 0 }
+
+// Union returns the set union of s and t.
+func (s FieldSet) Union(t FieldSet) FieldSet { return s | t }
+
+// Intersect returns the set intersection of s and t.
+func (s FieldSet) Intersect(t FieldSet) FieldSet { return s & t }
+
+// Overlaps reports whether s and t share at least one field.
+func (s FieldSet) Overlaps(t FieldSet) bool { return s&t != 0 }
+
+// Empty reports whether the set contains no fields.
+func (s FieldSet) Empty() bool { return s == 0 }
+
+// Len reports the number of fields in the set.
+func (s FieldSet) Len() int {
+	n := 0
+	for v := s; v != 0; v &= v - 1 {
+		n++
+	}
+	return n
+}
+
+// Fields returns the members of the set in canonical order.
+func (s FieldSet) Fields() []FieldID {
+	out := make([]FieldID, 0, s.Len())
+	for f := FieldID(0); f < NumFields; f++ {
+		if s.Contains(f) {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// String renders the set as "{ip_dst,tp_dst}".
+func (s FieldSet) String() string {
+	out := "{"
+	first := true
+	for f := FieldID(0); f < NumFields; f++ {
+		if s.Contains(f) {
+			if !first {
+				out += ","
+			}
+			out += f.String()
+			first = false
+		}
+	}
+	return out + "}"
+}
+
+// AllFields is the FieldSet containing every header field.
+const AllFields FieldSet = 1<<NumFields - 1

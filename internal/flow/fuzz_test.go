@@ -1,0 +1,61 @@
+package flow
+
+import "testing"
+
+// FuzzParseMatch checks that ParseMatch never panics and that anything it
+// accepts survives a format/parse round trip as an equal predicate.
+func FuzzParseMatch(f *testing.F) {
+	for _, seed := range []string{
+		"",
+		"*",
+		"eth_type=0x0800,ip_dst=10.0.0.0/24",
+		"eth_src=aa:bb:cc:dd:ee:ff,tp_dst=443",
+		"ip_dst=10.0.0.1/0xff00ff00",
+		"in_port=3,ip_proto=6,metadata=7",
+		"ip_dst=999.0.0.0/24",
+		"tp_dst=80/",
+		"=,=,=",
+		"ip_dst=10.0.0.0/24,ip_dst=10.0.0.0/16",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		m, err := ParseMatch(s)
+		if err != nil {
+			return
+		}
+		rt, err := ParseMatch(m.String())
+		if err != nil {
+			t.Fatalf("accepted %q but cannot re-parse its String %q: %v", s, m.String(), err)
+		}
+		if !m.Equal(rt) {
+			t.Fatalf("round trip changed %q: %q -> %q", s, m.String(), rt.String())
+		}
+	})
+}
+
+// FuzzParseKey checks that ParseKey never panics and round-trips.
+func FuzzParseKey(f *testing.F) {
+	for _, seed := range []string{
+		"",
+		"ip_dst=10.0.0.1,tp_dst=80",
+		"eth_src=aa:bb:cc:dd:ee:ff",
+		"metadata=65535",
+		"ip_proto=300",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		k, err := ParseKey(s)
+		if err != nil {
+			return
+		}
+		rt, err := ParseKey(k.String())
+		if err != nil {
+			t.Fatalf("accepted %q but cannot re-parse its String %q: %v", s, k.String(), err)
+		}
+		if k != rt {
+			t.Fatalf("round trip changed %q: %s -> %s", s, k, rt)
+		}
+	})
+}

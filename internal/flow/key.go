@@ -1,0 +1,92 @@
+package flow
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Key is a concrete flow signature: one value per header field. Keys are
+// comparable and hashable (usable directly as Go map keys), which the
+// exact-match Microflow cache and the TSS hash buckets rely on.
+type Key [NumFields]uint64
+
+// Get returns the value of field f.
+func (k Key) Get(f FieldID) uint64 { return k[f] }
+
+// With returns a copy of k with field f set to v (truncated to the field
+// width).
+func (k Key) With(f FieldID, v uint64) Key {
+	k[f] = v & f.MaxValue()
+	return k
+}
+
+// WithMasked returns a copy of k where the bits of f selected by mask are
+// replaced by the corresponding bits of v.
+func (k Key) WithMasked(f FieldID, v, mask uint64) Key {
+	mask &= f.MaxValue()
+	k[f] = (k[f] &^ mask) | (v & mask)
+	return k
+}
+
+// Apply returns k with every field ANDed against the mask, i.e. the
+// canonical representative of k under m.
+func (k Key) Apply(m Mask) Key {
+	var out Key
+	for i := range k {
+		out[i] = k[i] & m[i]
+	}
+	return out
+}
+
+// Diff returns the set of fields on which a and b differ.
+func (a Key) Diff(b Key) FieldSet {
+	var s FieldSet
+	for i := range a {
+		if a[i] != b[i] {
+			s = s.Add(FieldID(i))
+		}
+	}
+	return s
+}
+
+// DiffBits returns, per field, the XOR of a and b: the exact bit positions
+// where the two keys disagree. Used by dependency unwildcarding to find a
+// distinguishing bit against a higher-priority rule.
+func (a Key) DiffBits(b Key) Mask {
+	var m Mask
+	for i := range a {
+		m[i] = a[i] ^ b[i]
+	}
+	return m
+}
+
+// Equal reports whether a and b agree on every field. (Keys are comparable;
+// this exists for symmetry and call-site readability.)
+func (a Key) Equal(b Key) bool { return a == b }
+
+// String renders the key as a comma-separated field=value list with
+// MAC/IP-style formatting for address fields.
+func (k Key) String() string {
+	parts := make([]string, 0, NumFields)
+	for f := FieldID(0); f < NumFields; f++ {
+		parts = append(parts, fmt.Sprintf("%s=%s", f, FormatValue(f, k[f])))
+	}
+	return strings.Join(parts, ",")
+}
+
+// FormatValue renders a field value in its conventional notation: MACs as
+// colon-separated hex, IPs as dotted quads, eth_type as hex, and everything
+// else as decimal.
+func FormatValue(f FieldID, v uint64) string {
+	switch f {
+	case FieldEthSrc, FieldEthDst:
+		return fmt.Sprintf("%02x:%02x:%02x:%02x:%02x:%02x",
+			byte(v>>40), byte(v>>32), byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+	case FieldIPSrc, FieldIPDst:
+		return fmt.Sprintf("%d.%d.%d.%d", byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+	case FieldEthType:
+		return fmt.Sprintf("0x%04x", v)
+	default:
+		return fmt.Sprintf("%d", v)
+	}
+}

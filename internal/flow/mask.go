@@ -1,0 +1,160 @@
+package flow
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Mask is a per-bit wildcard: a set bit means the corresponding key bit is
+// significant (matched); a clear bit is wildcarded. Masks are comparable,
+// which TSS exploits to group rules into tuples by identical mask.
+type Mask [NumFields]uint64
+
+// EmptyMask matches nothing about a packet — every bit wildcarded.
+var EmptyMask Mask
+
+// FullMask returns the mask with every bit of every field significant.
+func FullMask() Mask {
+	var m Mask
+	for f := FieldID(0); f < NumFields; f++ {
+		m[f] = f.MaxValue()
+	}
+	return m
+}
+
+// ExactFields returns a mask that fully matches the given fields and
+// wildcards the rest.
+func ExactFields(fields ...FieldID) Mask {
+	var m Mask
+	for _, f := range fields {
+		m[f] = f.MaxValue()
+	}
+	return m
+}
+
+// PrefixMask returns the mask selecting the top plen bits of field f
+// (longest-prefix-match style; meaningful for IP fields but defined for
+// any field).
+func PrefixMask(f FieldID, plen uint) uint64 {
+	w := f.Width()
+	if plen >= w {
+		return f.MaxValue()
+	}
+	if plen == 0 {
+		return 0
+	}
+	return ((uint64(1) << plen) - 1) << (w - plen)
+}
+
+// Get returns the mask bits of field f.
+func (m Mask) Get(f FieldID) uint64 { return m[f] }
+
+// With returns a copy of m with field f's mask set to bits (truncated to
+// the field width).
+func (m Mask) With(f FieldID, bits uint64) Mask {
+	m[f] = bits & f.MaxValue()
+	return m
+}
+
+// WithField returns a copy of m with field f fully significant.
+func (m Mask) WithField(f FieldID) Mask {
+	m[f] = f.MaxValue()
+	return m
+}
+
+// Union returns the bitwise OR of the two masks: significant anywhere
+// either is. This is the ω_k computation of §4.2.3 (union of the W_i of a
+// sub-traversal's tables).
+func (m Mask) Union(o Mask) Mask {
+	var out Mask
+	for i := range m {
+		out[i] = m[i] | o[i]
+	}
+	return out
+}
+
+// Intersect returns the bitwise AND of the two masks.
+func (m Mask) Intersect(o Mask) Mask {
+	var out Mask
+	for i := range m {
+		out[i] = m[i] & o[i]
+	}
+	return out
+}
+
+// Without returns m with the bits of o cleared (m AND NOT o).
+func (m Mask) Without(o Mask) Mask {
+	var out Mask
+	for i := range m {
+		out[i] = m[i] &^ o[i]
+	}
+	return out
+}
+
+// WithoutFields returns m with every bit of the given fields cleared. Used
+// for rewrite shadowing: fields written earlier in a (sub-)traversal are
+// struck from its externally visible match mask.
+func (m Mask) WithoutFields(s FieldSet) Mask {
+	for f := FieldID(0); f < NumFields; f++ {
+		if s.Contains(f) {
+			m[f] = 0
+		}
+	}
+	return m
+}
+
+// IsEmpty reports whether the mask wildcards everything.
+func (m Mask) IsEmpty() bool { return m == EmptyMask }
+
+// Fields returns the set of fields with at least one significant bit.
+func (m Mask) Fields() FieldSet {
+	var s FieldSet
+	for i, bits := range m {
+		if bits != 0 {
+			s = s.Add(FieldID(i))
+		}
+	}
+	return s
+}
+
+// Covers reports whether every significant bit of o is also significant in
+// m (m is at least as specific as o on o's bits).
+func (m Mask) Covers(o Mask) bool {
+	for i := range m {
+		if o[i]&^m[i] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// BitCount returns the total number of significant bits across all fields.
+func (m Mask) BitCount() int {
+	n := 0
+	for _, bits := range m {
+		for v := bits; v != 0; v &= v - 1 {
+			n++
+		}
+	}
+	return n
+}
+
+// String renders the mask as "field/0x.." pairs for significant fields, or
+// "*" when fully wildcarded.
+func (m Mask) String() string {
+	if m.IsEmpty() {
+		return "*"
+	}
+	var parts []string
+	for f := FieldID(0); f < NumFields; f++ {
+		if m[f] == 0 {
+			continue
+		}
+		if m[f] == f.MaxValue() {
+			parts = append(parts, f.String())
+		} else {
+			parts = append(parts, fmt.Sprintf("%s/0x%x", f, m[f]))
+		}
+	}
+	return strings.Join(parts, ",")
+}

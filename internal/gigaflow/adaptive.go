@@ -1,0 +1,92 @@
+package gigaflow
+
+// Profile-guided adaptation (§7, "Traffic-Profile-Guided Optimizations"):
+// in low-locality environments sub-traversal caching can trail Megaflow,
+// since partitioning pays entry overhead without sharing in return. The
+// paper proposes sampling traffic to estimate sharing and switching to
+// Megaflow-style entries when sharing is poor. This file implements that
+// proposal: the cache tracks an exponentially-weighted sharing rate over
+// recent installs and, below a threshold, installs whole traversals as
+// single-segment entries (exactly a Megaflow rule living in GF₁) instead
+// of partitioned sub-traversals. When sharing recovers, partitioning
+// resumes — per-install, with no reconfiguration.
+
+// AdaptiveConfig tunes profile-guided adaptation; enabled via
+// Config.Adaptive.
+type AdaptiveConfig struct {
+	// MinSharing is the sharing-rate threshold below which inserts fall
+	// back to whole-traversal entries (default 0.15: at least ~1 in 7
+	// recent sub-traversals was reused).
+	MinSharing float64
+	// Alpha is the EWMA weight of each new install observation
+	// (default 0.01: roughly a 100-install horizon).
+	Alpha float64
+	// WarmupInstalls are always partitioned, to gather a signal before
+	// judging (default 500).
+	WarmupInstalls uint64
+	// SampleEvery keeps 1 in SampleEvery inserts partitioned while
+	// degraded (default 8) — the paper's periodic traffic sampling, which
+	// lets the estimate recover when sharing returns. Only partitioned
+	// inserts feed the estimator; whole-traversal installs measure
+	// nothing about sub-traversal sharing.
+	SampleEvery uint64
+}
+
+func (a AdaptiveConfig) withDefaults() AdaptiveConfig {
+	if a.MinSharing == 0 {
+		a.MinSharing = 0.15
+	}
+	if a.Alpha == 0 {
+		a.Alpha = 0.01
+	}
+	if a.WarmupInstalls == 0 {
+		a.WarmupInstalls = 500
+	}
+	if a.SampleEvery == 0 {
+		a.SampleEvery = 8
+	}
+	return a
+}
+
+// adaptState is the cache's live sharing estimate.
+type adaptState struct {
+	cfg      AdaptiveConfig
+	sharing  float64 // EWMA of per-(partitioned-)install sharing fraction
+	installs uint64  // total inserts seen (partitioned or not)
+	observed uint64  // partitioned inserts folded into the estimate
+}
+
+// observe folds one partitioned install's sharing fraction (reused
+// segments / total segments) into the estimate.
+func (a *adaptState) observe(reused, total int) {
+	if total <= 0 {
+		return
+	}
+	frac := float64(reused) / float64(total)
+	a.sharing = (1-a.cfg.Alpha)*a.sharing + a.cfg.Alpha*frac
+	a.observed++
+}
+
+// degraded reports whether inserts should fall back to whole-traversal
+// (Megaflow-style) entries.
+func (a *adaptState) degraded() bool {
+	return a.observed >= a.cfg.WarmupInstalls && a.sharing < a.cfg.MinSharing
+}
+
+// sampleNow reports whether this degraded-mode insert is a probation
+// sample that must be partitioned anyway.
+func (a *adaptState) sampleNow() bool {
+	return a.installs%a.cfg.SampleEvery == 0
+}
+
+// SharingEstimate exposes the EWMA sharing rate (for reports and tests).
+func (c *Cache) SharingEstimate() float64 {
+	if c.adapt == nil {
+		return 0
+	}
+	return c.adapt.sharing
+}
+
+// Degraded reports whether adaptive mode is currently installing
+// Megaflow-style entries.
+func (c *Cache) Degraded() bool { return c.adapt != nil && c.adapt.degraded() }

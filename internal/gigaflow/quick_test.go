@@ -1,0 +1,118 @@
+package gigaflow
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"gigaflow/internal/flow"
+)
+
+// fieldSeq is a quick-checkable sequence of per-step field sets.
+type fieldSeq []flow.FieldSet
+
+// Generate produces plausible step field sequences: short traversals over
+// a pool of realistic stage field sets, with occasional empties.
+func (fieldSeq) Generate(r *rand.Rand, _ int) reflect.Value {
+	pool := []flow.FieldSet{
+		flow.NewFieldSet(flow.FieldInPort),
+		flow.NewFieldSet(flow.FieldEthSrc, flow.FieldEthDst),
+		flow.NewFieldSet(flow.FieldEthDst),
+		flow.NewFieldSet(flow.FieldIPDst),
+		flow.NewFieldSet(flow.FieldIPSrc, flow.FieldIPDst),
+		flow.NewFieldSet(flow.FieldIPProto, flow.FieldTpDst),
+		flow.NewFieldSet(flow.FieldTpSrc),
+		0,
+	}
+	n := 1 + r.Intn(12)
+	s := make(fieldSeq, n)
+	for i := range s {
+		s[i] = pool[r.Intn(len(pool))]
+	}
+	return reflect.ValueOf(s)
+}
+
+var quickCfg = &quick.Config{MaxCount: 1500}
+
+func TestQuickDisjointPartitionAlwaysValid(t *testing.T) {
+	prop := func(fields fieldSeq, kRaw uint8) bool {
+		k := 1 + int(kRaw)%6
+		p := DisjointPartition(fields, k)
+		return p.Validate(len(fields), k) == nil
+	}
+	if err := quick.Check(prop, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickDisjointPartitionDominatesSingle(t *testing.T) {
+	// The DP's score is never worse than the single-segment partition or
+	// the all-singletons partition (both are members of its search space
+	// when k permits).
+	prop := func(fields fieldSeq, kRaw uint8) bool {
+		k := 1 + int(kRaw)%6
+		p := DisjointPartition(fields, k)
+		best := PartitionScore(fields, p)
+		if s := PartitionScore(fields, Partition{{0, len(fields)}}); s > best {
+			return false
+		}
+		if k >= len(fields) {
+			if s := PartitionScore(fields, OneToOnePartition(len(fields))); s > best {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickDisjointPartitionScoreMonotoneInK(t *testing.T) {
+	// More tables can never hurt the achievable score.
+	prop := func(fields fieldSeq, kRaw uint8) bool {
+		k := 1 + int(kRaw)%5
+		a := PartitionScore(fields, DisjointPartition(fields, k))
+		b := PartitionScore(fields, DisjointPartition(fields, k+1))
+		return b >= a
+	}
+	if err := quick.Check(prop, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickSegmentScoreBounds(t *testing.T) {
+	// A segment scores either 0 or exactly its length.
+	prop := func(fields fieldSeq) bool {
+		n := len(fields)
+		for i := 0; i < n; i++ {
+			for j := i + 1; j <= n; j++ {
+				s := SegmentScore(fields, Segment{i, j})
+				if s != 0 && s != j-i {
+					return false
+				}
+				if j-i == 1 && s != 1 {
+					return false // singletons are always cohesive
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickRandomPartitionValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	prop := func(nRaw, kRaw uint8) bool {
+		n := 1 + int(nRaw)%20
+		k := 1 + int(kRaw)%6
+		p := RandomPartition(n, k, rng)
+		return p.Validate(n, k) == nil
+	}
+	if err := quick.Check(prop, quickCfg); err != nil {
+		t.Error(err)
+	}
+}

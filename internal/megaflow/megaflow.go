@@ -1,0 +1,277 @@
+// Package megaflow implements the single-lookup wildcard flow cache that
+// Open vSwitch uses as its second-level cache and that the paper treats as
+// the state-of-the-art baseline (a Gigaflow configuration with K=1).
+//
+// Each entry is the composition of one complete pipeline traversal: a match
+// over the original packet headers, the set-field commit, and the terminal
+// verdict. Entries generated via pipeline.Traversal.Compose are pairwise
+// disjoint by construction (the unwildcarding bits guarantee a packet can
+// match at most one entry), so lookups need no priorities.
+package megaflow
+
+import (
+	"fmt"
+
+	"gigaflow/internal/flow"
+	"gigaflow/internal/pipeline"
+	"gigaflow/internal/tss"
+)
+
+// Entry is one cached megaflow rule.
+type Entry struct {
+	Match   flow.Match
+	Commit  []flow.Action // header rewrites accumulated over the traversal
+	Verdict flow.Verdict
+	// Parent is the flow signature whose traversal generated the entry;
+	// revalidation replays it through the pipeline.
+	Parent flow.Key
+	// TraversalLen is the number of pipeline tables the parent traversal
+	// spanned; revalidation work is proportional to it.
+	TraversalLen int
+	// Version is the pipeline version the entry was validated against.
+	Version uint64
+
+	Hits    uint64
+	LastHit int64 // virtual time of last hit (or creation)
+	Created int64
+
+	prev, next *Entry // LRU list, most-recent at front
+}
+
+// Stats counts cache events.
+type Stats struct {
+	Hits      uint64
+	Misses    uint64
+	Inserts   uint64
+	Replaced  uint64 // insert found an identical predicate already cached
+	Rejected  uint64 // insert refused because the cache was full
+	EvictLRU  uint64
+	Expired   uint64 // removed by idle timeout
+	Revoked   uint64 // removed by revalidation
+	RevalWork uint64 // pipeline table lookups spent revalidating
+}
+
+// HitRate returns Hits / (Hits+Misses), or 0 when idle.
+func (s *Stats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// Cache is a capacity-bounded megaflow cache.
+type Cache struct {
+	capacity    int
+	evictOnFull bool
+	cls         *tss.Classifier[*Entry]
+	lruHead     *Entry
+	lruTail     *Entry
+	stats       Stats
+}
+
+// Option configures a Cache.
+type Option func(*Cache)
+
+// WithNoLRUEviction makes inserts fail when the cache is full instead of
+// evicting the least-recently-used entry.
+func WithNoLRUEviction() Option {
+	return func(c *Cache) { c.evictOnFull = false }
+}
+
+// New creates a megaflow cache holding at most capacity entries.
+func New(capacity int, opts ...Option) *Cache {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("megaflow: bad capacity %d", capacity))
+	}
+	c := &Cache{capacity: capacity, evictOnFull: true, cls: tss.New[*Entry]()}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// Len reports the number of cached entries.
+func (c *Cache) Len() int { return c.cls.Len() }
+
+// Capacity reports the entry limit.
+func (c *Cache) Capacity() int { return c.capacity }
+
+// Stats returns a snapshot of the cache counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// NumMasks reports the number of distinct masks (TSS tuples); lookup cost
+// is proportional to it.
+func (c *Cache) NumMasks() int { return c.cls.NumTuples() }
+
+// TupleProbes reports the cumulative TSS tuple probes across all lookups —
+// the software search work a CPU-resident cache would spend (Fig. 17's
+// TSS cost).
+func (c *Cache) TupleProbes() uint64 { return c.cls.Probes }
+
+// Lookup finds the entry matching k, updating hit/miss statistics and LRU
+// position. The second result reports whether the lookup hit.
+func (c *Cache) Lookup(k flow.Key, now int64) (*Entry, bool) {
+	e, _ := c.cls.Lookup(k)
+	if e == nil {
+		c.stats.Misses++
+		return nil, false
+	}
+	ent := e.Value
+	ent.Hits++
+	ent.LastHit = now
+	c.touch(ent)
+	c.stats.Hits++
+	return ent, true
+}
+
+// Peek is Lookup without statistics or LRU side effects.
+func (c *Cache) Peek(k flow.Key) (*Entry, bool) {
+	e, _ := c.cls.Lookup(k)
+	if e == nil {
+		return nil, false
+	}
+	return e.Value, true
+}
+
+// Apply executes a cached entry against a key.
+func (e *Entry) Apply(k flow.Key) (flow.Key, flow.Verdict) {
+	out, _ := flow.Apply(k, e.Commit)
+	return out, e.Verdict
+}
+
+// Insert compiles a traversal into a megaflow entry and installs it.
+// Returns the entry, or nil when the cache is full and eviction is
+// disabled.
+func (c *Cache) Insert(tr *pipeline.Traversal, now int64) *Entry {
+	match, commit := tr.Compose(0, tr.Len())
+	ent := &Entry{
+		Match:        match,
+		Commit:       commit,
+		Verdict:      tr.Verdict,
+		Parent:       tr.Input,
+		TraversalLen: tr.Len(),
+		Version:      tr.Version,
+		LastHit:      now,
+		Created:      now,
+	}
+	if old, ok := c.cls.Get(match, 0); ok {
+		// Same predicate already cached (another packet of the same
+		// megaflow raced through the slowpath): refresh it.
+		c.unlink(old.Value)
+		c.cls.Delete(match, 0)
+		c.stats.Replaced++
+	} else if c.cls.Len() >= c.capacity {
+		if !c.evictOnFull || c.lruTail == nil {
+			c.stats.Rejected++
+			return nil
+		}
+		c.removeEntry(c.lruTail)
+		c.stats.EvictLRU++
+	}
+	c.cls.Insert(&tss.Entry[*Entry]{Match: match, Priority: 0, Value: ent})
+	c.pushFront(ent)
+	c.stats.Inserts++
+	return ent
+}
+
+// removeEntry unlinks and deletes an entry from both structures.
+func (c *Cache) removeEntry(ent *Entry) {
+	c.unlink(ent)
+	c.cls.Delete(ent.Match, 0)
+}
+
+// ExpireIdle removes entries whose last hit is older than maxIdle,
+// mirroring OVS's max-idle revalidator sweep (§4.3.2). Returns the number
+// removed.
+func (c *Cache) ExpireIdle(now, maxIdle int64) int {
+	var stale []*Entry
+	c.cls.Range(func(e *tss.Entry[*Entry]) bool {
+		if now-e.Value.LastHit > maxIdle {
+			stale = append(stale, e.Value)
+		}
+		return true
+	})
+	for _, ent := range stale {
+		c.removeEntry(ent)
+		c.stats.Expired++
+	}
+	return len(stale)
+}
+
+// Revalidate checks every entry against the current pipeline state
+// (§4.3.1): the parent flow is replayed and the entry is evicted when its
+// match, commit, or verdict no longer agrees. Entries already validated at
+// the current pipeline version are skipped. Returns the number evicted and
+// the work performed (pipeline table lookups).
+func (c *Cache) Revalidate(p *pipeline.Pipeline) (evicted int, work int) {
+	var bad []*Entry
+	c.cls.Range(func(e *tss.Entry[*Entry]) bool {
+		ent := e.Value
+		if ent.Version == p.Version {
+			return true
+		}
+		tr, err := p.Process(ent.Parent)
+		if err != nil {
+			bad = append(bad, ent)
+			return true
+		}
+		work += tr.Len()
+		match, commit := tr.Compose(0, tr.Len())
+		if !match.Equal(ent.Match) || !flow.ActionsEqual(commit, ent.Commit) || tr.Verdict != ent.Verdict {
+			bad = append(bad, ent)
+		} else {
+			ent.Version = p.Version
+		}
+		return true
+	})
+	for _, ent := range bad {
+		c.removeEntry(ent)
+		c.stats.Revoked++
+	}
+	c.stats.RevalWork += uint64(work)
+	return len(bad), work
+}
+
+// Entries returns all cached entries in unspecified order.
+func (c *Cache) Entries() []*Entry {
+	out := make([]*Entry, 0, c.cls.Len())
+	c.cls.Range(func(e *tss.Entry[*Entry]) bool { out = append(out, e.Value); return true })
+	return out
+}
+
+// --- LRU list maintenance ---
+
+func (c *Cache) pushFront(e *Entry) {
+	e.prev = nil
+	e.next = c.lruHead
+	if c.lruHead != nil {
+		c.lruHead.prev = e
+	}
+	c.lruHead = e
+	if c.lruTail == nil {
+		c.lruTail = e
+	}
+}
+
+func (c *Cache) unlink(e *Entry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else if c.lruHead == e {
+		c.lruHead = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else if c.lruTail == e {
+		c.lruTail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+func (c *Cache) touch(e *Entry) {
+	if c.lruHead == e {
+		return
+	}
+	c.unlink(e)
+	c.pushFront(e)
+}

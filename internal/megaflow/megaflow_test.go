@@ -1,0 +1,253 @@
+package megaflow
+
+import (
+	"testing"
+
+	"gigaflow/internal/flow"
+	"gigaflow/internal/pipeline"
+)
+
+// testPipeline builds a 2-table pipeline: L3 routing then ACL.
+func testPipeline() *pipeline.Pipeline {
+	p := pipeline.New("mf-test")
+	p.AddTable(0, "l3", flow.NewFieldSet(flow.FieldIPDst))
+	p.AddTable(1, "acl", flow.NewFieldSet(flow.FieldTpDst))
+	p.MustAddRule(0, flow.MustParseMatch("ip_dst=10.0.0.0/24"), 10,
+		[]flow.Action{flow.SetField(flow.FieldEthDst, 0xbb)}, 1)
+	p.MustAddRule(0, flow.MustParseMatch("ip_dst=10.1.0.0/24"), 10,
+		[]flow.Action{flow.SetField(flow.FieldEthDst, 0xcc)}, 1)
+	p.MustAddRule(1, flow.MustParseMatch("tp_dst=80"), 10, []flow.Action{flow.Output(1)}, pipeline.NoTable)
+	p.MustAddRule(1, flow.MustParseMatch("tp_dst=443"), 5, []flow.Action{flow.Output(2)}, pipeline.NoTable)
+	return p
+}
+
+func key(ipLow, port uint64) flow.Key {
+	return flow.Key{}.
+		With(flow.FieldIPDst, 0x0a000000|ipLow).
+		With(flow.FieldTpDst, port)
+}
+
+func TestInsertThenHit(t *testing.T) {
+	p := testPipeline()
+	c := New(16)
+	k := key(5, 80)
+	tr := p.MustProcess(k)
+	if ent := c.Insert(tr, 0); ent == nil {
+		t.Fatal("insert failed")
+	}
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+
+	// Same megaflow, different host in the /24 and same port: must hit.
+	e, ok := c.Lookup(key(9, 80), 1)
+	if !ok {
+		t.Fatal("expected wildcard hit")
+	}
+	final, v := e.Apply(key(9, 80))
+	if v.Kind != flow.VerdictOutput || v.Port != 1 {
+		t.Fatalf("verdict = %v", v)
+	}
+	if final.Get(flow.FieldEthDst) != 0xbb {
+		t.Error("commit rewrite missing")
+	}
+	if e.Hits != 1 || e.LastHit != 1 {
+		t.Errorf("hit bookkeeping: hits=%d last=%d", e.Hits, e.LastHit)
+	}
+
+	// Different port: miss.
+	if _, ok := c.Lookup(key(5, 8080), 2); ok {
+		t.Error("expected miss for different ACL path")
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Inserts != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.HitRate() != 0.5 {
+		t.Errorf("hit rate = %v", st.HitRate())
+	}
+}
+
+func TestCachedResultMatchesSlowpath(t *testing.T) {
+	p := testPipeline()
+	c := New(64)
+	keys := []flow.Key{key(1, 80), key(2, 443), key(0x100+3, 80), key(4, 9999)}
+	for _, k := range keys {
+		c.Insert(p.MustProcess(k), 0)
+	}
+	for _, k := range keys {
+		e, ok := c.Lookup(k, 0)
+		if !ok {
+			t.Fatalf("no hit for %s", k)
+		}
+		final, v := e.Apply(k)
+		tr := p.MustProcess(k)
+		if v != tr.Verdict || final != tr.FinalKey() {
+			t.Fatalf("cache result diverges for %s: %v/%s vs %v/%s", k, v, final, tr.Verdict, tr.FinalKey())
+		}
+	}
+}
+
+func TestReplaceSamePredicate(t *testing.T) {
+	p := testPipeline()
+	c := New(16)
+	c.Insert(p.MustProcess(key(5, 80)), 0)
+	c.Insert(p.MustProcess(key(6, 80)), 1) // same /24, same port -> same megaflow
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d, want 1 (replacement)", c.Len())
+	}
+	if c.Stats().Replaced != 1 {
+		t.Errorf("Replaced = %d", c.Stats().Replaced)
+	}
+}
+
+func TestLRUEvictionOnFull(t *testing.T) {
+	p := testPipeline()
+	c := New(2)
+	c.Insert(p.MustProcess(key(1, 80)), 0)   // A
+	c.Insert(p.MustProcess(key(1, 443)), 1)  // B
+	c.Lookup(key(1, 80), 2)                  // touch A; B becomes LRU
+	c.Insert(p.MustProcess(key(1, 9999)), 3) // C evicts B
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+	if _, ok := c.Peek(key(1, 443)); ok {
+		t.Error("B should have been evicted")
+	}
+	if _, ok := c.Peek(key(1, 80)); !ok {
+		t.Error("A should survive")
+	}
+	if c.Stats().EvictLRU != 1 {
+		t.Errorf("EvictLRU = %d", c.Stats().EvictLRU)
+	}
+}
+
+func TestNoEvictionOptionRejects(t *testing.T) {
+	p := testPipeline()
+	c := New(1, WithNoLRUEviction())
+	if c.Insert(p.MustProcess(key(1, 80)), 0) == nil {
+		t.Fatal("first insert must succeed")
+	}
+	if c.Insert(p.MustProcess(key(1, 443)), 1) != nil {
+		t.Fatal("insert into full cache must fail")
+	}
+	if c.Stats().Rejected != 1 {
+		t.Errorf("Rejected = %d", c.Stats().Rejected)
+	}
+	if c.Len() != 1 {
+		t.Errorf("Len = %d", c.Len())
+	}
+}
+
+func TestExpireIdle(t *testing.T) {
+	p := testPipeline()
+	c := New(16)
+	c.Insert(p.MustProcess(key(1, 80)), 0)
+	c.Insert(p.MustProcess(key(1, 443)), 0)
+	c.Lookup(key(1, 80), 100) // keep the first entry fresh
+	n := c.ExpireIdle(150, 100)
+	if n != 1 || c.Len() != 1 {
+		t.Fatalf("expired %d, len %d", n, c.Len())
+	}
+	if _, ok := c.Peek(key(1, 80)); !ok {
+		t.Error("fresh entry must survive")
+	}
+	if c.Stats().Expired != 1 {
+		t.Errorf("Expired = %d", c.Stats().Expired)
+	}
+}
+
+func TestRevalidationEvictsStale(t *testing.T) {
+	p := testPipeline()
+	c := New(16)
+	c.Insert(p.MustProcess(key(1, 80)), 0)
+	c.Insert(p.MustProcess(key(1, 443)), 0)
+
+	// No change: nothing evicted, no work (version fast-path).
+	ev, work := c.Revalidate(p)
+	if ev != 0 || work != 0 {
+		t.Fatalf("clean revalidation: evicted=%d work=%d", ev, work)
+	}
+
+	// Change the ACL rule for port 80: its megaflow must be revoked.
+	old := p.Table(1).Rules()[0] // tp_dst=80, priority 10
+	if !p.DeleteRule(old) {
+		t.Fatal("delete failed")
+	}
+	p.MustAddRule(1, flow.MustParseMatch("tp_dst=80"), 10, []flow.Action{flow.Output(7)}, pipeline.NoTable)
+
+	ev, work = c.Revalidate(p)
+	if ev != 1 {
+		t.Fatalf("evicted = %d, want 1", ev)
+	}
+	if work == 0 {
+		t.Error("revalidation must report work")
+	}
+	if _, ok := c.Peek(key(1, 80)); ok {
+		t.Error("stale entry survived revalidation")
+	}
+	if _, ok := c.Peek(key(1, 443)); !ok {
+		t.Error("valid entry must survive revalidation")
+	}
+	if c.Stats().Revoked != 1 {
+		t.Errorf("Revoked = %d", c.Stats().Revoked)
+	}
+
+	// Entries surviving revalidation are re-stamped: immediate re-run skips.
+	_, work = c.Revalidate(p)
+	if work != 0 {
+		t.Errorf("second revalidation should be free, work=%d", work)
+	}
+}
+
+func TestMegaflowEntriesDisjoint(t *testing.T) {
+	// Entries built from distinct traversals never both match one packet.
+	p := testPipeline()
+	c := New(256)
+	var probes []flow.Key
+	for ip := uint64(0); ip < 8; ip++ {
+		for _, port := range []uint64{80, 443, 1234} {
+			k := key(ip, port)
+			probes = append(probes, k, key(0x100+ip, port))
+			c.Insert(p.MustProcess(k), 0)
+			c.Insert(p.MustProcess(key(0x100+ip, port)), 0)
+		}
+	}
+	entries := c.Entries()
+	for _, k := range probes {
+		n := 0
+		for _, e := range entries {
+			if e.Match.Matches(k) {
+				n++
+			}
+		}
+		if n > 1 {
+			t.Fatalf("key %s matches %d megaflow entries", k, n)
+		}
+	}
+}
+
+func TestEntriesAndNumMasks(t *testing.T) {
+	p := testPipeline()
+	c := New(16)
+	c.Insert(p.MustProcess(key(1, 80)), 0)
+	c.Insert(p.MustProcess(key(1, 443)), 0)
+	if len(c.Entries()) != 2 {
+		t.Errorf("Entries = %d", len(c.Entries()))
+	}
+	if c.NumMasks() < 1 {
+		t.Errorf("NumMasks = %d", c.NumMasks())
+	}
+	if c.Capacity() != 16 {
+		t.Errorf("Capacity = %d", c.Capacity())
+	}
+}
+
+func TestBadCapacityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("New(0) must panic")
+		}
+	}()
+	New(0)
+}

@@ -1,0 +1,158 @@
+// Package microflow implements OVS's first-level exact-match flow cache:
+// one entry per exact flow signature, capturing temporal locality. It
+// fronts the Megaflow (or Gigaflow) cache in the software slowpath.
+package microflow
+
+import (
+	"fmt"
+
+	"gigaflow/internal/flow"
+)
+
+// Entry is one exact-match cache entry: the memoized result of processing
+// a specific flow signature.
+type Entry struct {
+	Key     flow.Key
+	Final   flow.Key // flow state after all rewrites
+	Verdict flow.Verdict
+	Hits    uint64
+	LastHit int64
+
+	prev, next *Entry
+}
+
+// Stats counts cache events.
+type Stats struct {
+	Hits     uint64
+	Misses   uint64
+	Inserts  uint64
+	EvictLRU uint64
+	Expired  uint64
+	Invalid  uint64 // removed by Invalidate
+}
+
+// Cache is a capacity-bounded exact-match cache with LRU replacement.
+type Cache struct {
+	capacity int
+	entries  map[flow.Key]*Entry
+	lruHead  *Entry
+	lruTail  *Entry
+	stats    Stats
+}
+
+// New creates a microflow cache holding at most capacity entries.
+func New(capacity int) *Cache {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("microflow: bad capacity %d", capacity))
+	}
+	return &Cache{capacity: capacity, entries: make(map[flow.Key]*Entry, capacity)}
+}
+
+// Len reports the number of cached entries.
+func (c *Cache) Len() int { return len(c.entries) }
+
+// Capacity reports the entry limit.
+func (c *Cache) Capacity() int { return c.capacity }
+
+// Stats returns a snapshot of the counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// Lookup finds the entry for exactly k.
+func (c *Cache) Lookup(k flow.Key, now int64) (*Entry, bool) {
+	e, ok := c.entries[k]
+	if !ok {
+		c.stats.Misses++
+		return nil, false
+	}
+	e.Hits++
+	e.LastHit = now
+	c.touch(e)
+	c.stats.Hits++
+	return e, true
+}
+
+// Insert memoizes the result of processing k. An existing entry for k is
+// overwritten.
+func (c *Cache) Insert(k, final flow.Key, v flow.Verdict, now int64) *Entry {
+	if old, ok := c.entries[k]; ok {
+		old.Final, old.Verdict, old.LastHit = final, v, now
+		c.touch(old)
+		return old
+	}
+	if len(c.entries) >= c.capacity {
+		if t := c.lruTail; t != nil {
+			c.remove(t)
+			c.stats.EvictLRU++
+		}
+	}
+	e := &Entry{Key: k, Final: final, Verdict: v, LastHit: now}
+	c.entries[k] = e
+	c.pushFront(e)
+	c.stats.Inserts++
+	return e
+}
+
+// ExpireIdle removes entries idle for longer than maxIdle.
+func (c *Cache) ExpireIdle(now, maxIdle int64) int {
+	var stale []*Entry
+	for _, e := range c.entries {
+		if now-e.LastHit > maxIdle {
+			stale = append(stale, e)
+		}
+	}
+	for _, e := range stale {
+		c.remove(e)
+		c.stats.Expired++
+	}
+	return len(stale)
+}
+
+// Invalidate drops every entry; called when pipeline rules change, since
+// exact-match entries carry no wildcard against which to revalidate
+// incrementally.
+func (c *Cache) Invalidate() int {
+	n := len(c.entries)
+	c.entries = make(map[flow.Key]*Entry, c.capacity)
+	c.lruHead, c.lruTail = nil, nil
+	c.stats.Invalid += uint64(n)
+	return n
+}
+
+func (c *Cache) remove(e *Entry) {
+	delete(c.entries, e.Key)
+	c.unlink(e)
+}
+
+func (c *Cache) pushFront(e *Entry) {
+	e.prev = nil
+	e.next = c.lruHead
+	if c.lruHead != nil {
+		c.lruHead.prev = e
+	}
+	c.lruHead = e
+	if c.lruTail == nil {
+		c.lruTail = e
+	}
+}
+
+func (c *Cache) unlink(e *Entry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else if c.lruHead == e {
+		c.lruHead = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else if c.lruTail == e {
+		c.lruTail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+func (c *Cache) touch(e *Entry) {
+	if c.lruHead == e {
+		return
+	}
+	c.unlink(e)
+	c.pushFront(e)
+}

@@ -1,0 +1,96 @@
+package pipeline
+
+import (
+	"errors"
+	"fmt"
+
+	"gigaflow/internal/flow"
+	"gigaflow/internal/tss"
+)
+
+// ErrTooManySteps is returned when a traversal exceeds MaxSteps, which
+// indicates a goto-table loop in the pipeline program.
+var ErrTooManySteps = errors.New("pipeline: traversal exceeded max steps (goto-table loop?)")
+
+// Process runs key through the pipeline, producing its traversal. The
+// returned traversal always carries a terminal verdict: a table miss with
+// no configured continuation, or a non-terminal rule with no next table,
+// drops the packet (OpenFlow default semantics).
+func (p *Pipeline) Process(key flow.Key) (*Traversal, error) {
+	tr, err := p.ProcessPartial(p.Start, key, p.MaxSteps)
+	if err != nil {
+		return nil, err
+	}
+	if !tr.Verdict.Terminal() {
+		return nil, ErrTooManySteps
+	}
+	return tr, nil
+}
+
+// ProcessPartial runs key through the pipeline starting at table `start`
+// for at most maxSteps lookups. Unlike Process, hitting the step limit is
+// not an error: the traversal is returned with a non-terminal verdict and
+// NextTable set to the table that would have been visited next. Gigaflow's
+// revalidator uses this to re-derive a sub-traversal from its table tag
+// (§4.3.1) without replaying the whole pipeline.
+func (p *Pipeline) ProcessPartial(start int, key flow.Key, maxSteps int) (*Traversal, error) {
+	if start == NoTable || p.tables[start] == nil {
+		return nil, fmt.Errorf("pipeline %s: no start table %d", p.Name, start)
+	}
+	tr := &Traversal{Pipeline: p, Version: p.Version, Input: key, NextTable: NoTable}
+	cur := start
+	k := key
+	for len(tr.Steps) < maxSteps {
+		t := p.tables[cur]
+		if t == nil {
+			return nil, fmt.Errorf("pipeline %s: goto unknown table %d", p.Name, cur)
+		}
+		var entry *tss.Entry[*Rule]
+		var wild flow.Mask
+		var probes int
+		if p.PreciseWildcards {
+			entry, wild, probes = t.cls.LookupWildPrecise(k)
+		} else {
+			entry, wild, probes = t.cls.LookupWild(k)
+		}
+		tr.TuplesProbed += probes
+		step := Step{TableID: cur, Pre: k, Wildcard: wild}
+
+		var next int
+		if entry != nil {
+			rule := entry.Value
+			step.Rule = rule
+			step.Acts = rule.Actions
+			k, step.Verdict = flow.Apply(k, rule.Actions)
+			next = rule.Next
+		} else {
+			step.Acts = t.MissActions
+			k, step.Verdict = flow.Apply(k, t.MissActions)
+			next = t.MissNext
+		}
+		step.Post = k
+
+		if !step.Verdict.Terminal() && next == NoTable {
+			// Fell off the pipeline without an explicit verdict: drop.
+			step.Verdict = flow.Verdict{Kind: flow.VerdictDrop}
+		}
+		tr.Steps = append(tr.Steps, step)
+		if step.Verdict.Terminal() {
+			tr.Verdict = step.Verdict
+			return tr, nil
+		}
+		cur = next
+	}
+	tr.NextTable = cur
+	return tr, nil
+}
+
+// MustProcess is Process that panics on error; for tests and examples
+// operating on known-good pipelines.
+func (p *Pipeline) MustProcess(key flow.Key) *Traversal {
+	tr, err := p.Process(key)
+	if err != nil {
+		panic(err)
+	}
+	return tr
+}

@@ -1,0 +1,175 @@
+package pipeline
+
+import (
+	"fmt"
+	"strings"
+
+	"gigaflow/internal/flow"
+)
+
+// Step records one table lookup of a traversal.
+type Step struct {
+	TableID int
+	// Rule is the matched rule, or nil when the table missed and its miss
+	// behaviour was taken.
+	Rule *Rule
+	// Wildcard is W_i: the header bits this lookup examined, expressed
+	// against the flow state entering the step. It includes the dependency
+	// bits required so that any packet agreeing with Pre on these bits
+	// takes the same step (tuple-union unwildcarding).
+	Wildcard flow.Mask
+	// Pre and Post are the flow state entering and leaving the step (Post
+	// reflects this step's set-field actions).
+	Pre, Post flow.Key
+	// Acts are the actions executed at this step: the matched rule's
+	// actions, or the table's miss actions on a miss step.
+	Acts []flow.Action
+	// Verdict is the terminal decision made at this step, if any.
+	Verdict flow.Verdict
+}
+
+// Actions returns the actions executed at this step.
+func (s *Step) Actions() []flow.Action { return s.Acts }
+
+// RuleID returns the matched rule's ID, or -1 on a miss step.
+func (s *Step) RuleID() int64 {
+	if s.Rule == nil {
+		return -1
+	}
+	return s.Rule.ID
+}
+
+// Traversal is the paper's ⟨T, F, W⟩ vector: the complete record of one
+// packet's walk through the pipeline. It is the unit both cache compilers
+// consume.
+type Traversal struct {
+	Pipeline *Pipeline
+	// Version is the pipeline version the traversal was computed against.
+	Version uint64
+	// Input is the original flow signature F.
+	Input flow.Key
+	// Steps is the lookup sequence (T, F^i, W_i per step).
+	Steps []Step
+	// Verdict is the packet's fate.
+	Verdict flow.Verdict
+	// NextTable is the table a partial traversal would visit next when it
+	// stopped at a step limit instead of a terminal verdict; NoTable
+	// otherwise.
+	NextTable int
+	// TuplesProbed is the total TSS tuples probed, for CPU accounting.
+	TuplesProbed int
+}
+
+// Len reports the traversal length N (number of table lookups).
+func (tr *Traversal) Len() int { return len(tr.Steps) }
+
+// TableIDs returns the T vector.
+func (tr *Traversal) TableIDs() []int {
+	out := make([]int, len(tr.Steps))
+	for i := range tr.Steps {
+		out[i] = tr.Steps[i].TableID
+	}
+	return out
+}
+
+// FinalKey returns the flow state after the last step.
+func (tr *Traversal) FinalKey() flow.Key {
+	if len(tr.Steps) == 0 {
+		return tr.Input
+	}
+	return tr.Steps[len(tr.Steps)-1].Post
+}
+
+// PathSignature identifies the traversal's path — the table/rule sequence —
+// independent of the packet that produced it. Two flows share pipeline
+// structure exactly when their signatures are equal; Fig. 11's sharing
+// statistic counts flows per signature.
+func (tr *Traversal) PathSignature() string {
+	var b strings.Builder
+	for i := range tr.Steps {
+		if i > 0 {
+			b.WriteByte('>')
+		}
+		fmt.Fprintf(&b, "t%d:r%d", tr.Steps[i].TableID, tr.Steps[i].RuleID())
+	}
+	return b.String()
+}
+
+// SegmentSignature is PathSignature restricted to Steps[i:j] (j exclusive);
+// it identifies a sub-traversal's path.
+func (tr *Traversal) SegmentSignature(i, j int) string {
+	var b strings.Builder
+	for s := i; s < j; s++ {
+		if s > i {
+			b.WriteByte('>')
+		}
+		fmt.Fprintf(&b, "t%d:r%d", tr.Steps[s].TableID, tr.Steps[s].RuleID())
+	}
+	return b.String()
+}
+
+// StepFields returns the FieldSet examined at step i (the fields with
+// significant bits in W_i), the input to the disjointness analysis.
+func (tr *Traversal) StepFields(i int) flow.FieldSet {
+	return tr.Steps[i].Wildcard.Fields()
+}
+
+// Compose flattens Steps[i:j] (j exclusive) into a single cache-rule
+// specification: the match predicate over the flow state entering step i,
+// and the set-field commit transforming any matching packet into the state
+// it would leave step j-1 with.
+//
+// Two rules make the composition sound for every packet the match covers,
+// not just the one that produced the traversal:
+//
+//   - Rewrite shadowing: bits written by an earlier step inside the range
+//     are excluded from the composed mask — their values at later steps are
+//     determined by the range's own (absolute) set-field actions, not by
+//     the packet, exactly as OVS's megaflow translation treats them.
+//   - Net-write commit: the commit sets every bit written anywhere in the
+//     range to its final absolute value, even when the recorded packet
+//     happened to already carry that value. A pure before/after diff (the
+//     paper's literal "commit" description) would make action emission
+//     depend on the packet's pre-rewrite value, silently corrupting
+//     wildcard hits whose entry value differs; OVS avoids the same hazard
+//     by unwildcarding every field its commit examines, which shrinks the
+//     megaflow. With absolute set-field actions the net-write form is
+//     sound and keeps the match as wide as possible.
+//
+// Compose over the full range is precisely Megaflow-rule generation;
+// sub-ranges are Gigaflow's sub-traversal rules (ω_k, M_k, α_k of §4.2.3).
+func (tr *Traversal) Compose(i, j int) (match flow.Match, commit []flow.Action) {
+	if i < 0 || j > len(tr.Steps) || i >= j {
+		panic(fmt.Sprintf("pipeline: bad compose range [%d,%d) of %d steps", i, j, len(tr.Steps)))
+	}
+	entry := tr.Steps[i].Pre
+	var omega flow.Mask
+	var written flow.Mask
+	for s := i; s < j; s++ {
+		omega = omega.Union(tr.Steps[s].Wildcard.Without(written))
+		for _, a := range tr.Steps[s].Actions() {
+			if a.Type == flow.ActionSetField {
+				written[a.Field] |= a.Mask
+			}
+		}
+	}
+	match = flow.NewMatch(entry, omega)
+	post := tr.Steps[j-1].Post
+	for f := flow.FieldID(0); f < flow.NumFields; f++ {
+		if written[f] != 0 {
+			commit = append(commit, flow.SetFieldMasked(f, post[f], written[f]))
+		}
+	}
+	return match, commit
+}
+
+// String renders the traversal for debugging.
+func (tr *Traversal) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "traversal[%s] %s:", tr.Pipeline.Name, tr.Verdict)
+	for i := range tr.Steps {
+		s := &tr.Steps[i]
+		fmt.Fprintf(&b, "\n  t%d r%d wild=%s", s.TableID, s.RuleID(), s.Wildcard)
+	}
+	return b.String()
+}

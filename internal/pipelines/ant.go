@@ -1,0 +1,61 @@
+package pipelines
+
+import "gigaflow/internal/flow"
+
+// ANT models the Antrea OVS pipeline enforcing Kubernetes networking and
+// security policies: 22 tables, 20 traversals (Table 1). Stage names
+// follow Antrea's ovs-pipeline design document.
+var ANT = &Spec{
+	Name:        "ANT",
+	Description: "Antrea Kubernetes CNI pipeline (networking + network policy)",
+	Tables: []TableSpec{
+		{ID: 0, Name: "classification", Fields: fPort},
+		{ID: 1, Name: "spoof-guard", Fields: fPort.Union(fEthSrc).Union(fIPSrc)},
+		{ID: 2, Name: "conntrack-zone", Fields: fProto.Union(fEthType)},
+		{ID: 3, Name: "conntrack-state", Fields: fProto},
+		{ID: 4, Name: "pre-routing-classifier", Fields: fIPDst},
+		{ID: 5, Name: "session-affinity", Fields: fIPDst.Union(fTpDst)},
+		{ID: 6, Name: "service-lb", Fields: ipSvc, Rewrites: flow.NewFieldSet(flow.FieldIPDst, flow.FieldTpDst)},
+		{ID: 7, Name: "endpoint-dnat", Fields: fIPDst.Union(fTpDst), Rewrites: flow.NewFieldSet(flow.FieldIPDst)},
+		{ID: 8, Name: "antrea-policy-egress", Fields: f5Tuple},
+		{ID: 9, Name: "egress-rule", Fields: fIPPair},
+		{ID: 10, Name: "egress-default", Fields: fIPSrc},
+		{ID: 11, Name: "egress-metric", Fields: fProto},
+		{ID: 12, Name: "l3-forwarding", Fields: fIPDst, Rewrites: fMACRW},
+		{ID: 13, Name: "egress-mark", Fields: fIPSrc},
+		{ID: 14, Name: "snat", Fields: fIPSrc, Rewrites: flow.NewFieldSet(flow.FieldIPSrc)},
+		{ID: 15, Name: "l3-dec-ttl", Fields: fEthType},
+		{ID: 16, Name: "service-mark", Fields: fTpDst},
+		{ID: 17, Name: "antrea-policy-ingress", Fields: f5Tuple},
+		{ID: 18, Name: "ingress-rule", Fields: fIPPair.Union(fTpDst)},
+		{ID: 19, Name: "ingress-default", Fields: fIPDst},
+		{ID: 20, Name: "conntrack-commit", Fields: fProto},
+		{ID: 21, Name: "output", Fields: fEthDst},
+	},
+	Traversals: []TraversalSpec{
+		// Pod-to-pod intra-node paths.
+		{Name: "pod-pod", Tables: []int{0, 1, 2, 3, 12, 21}},
+		{Name: "pod-pod-policy", Tables: []int{0, 1, 2, 3, 8, 12, 17, 20, 21}},
+		{Name: "pod-pod-policy-deny", Tables: []int{0, 1, 2, 3, 8}, Drop: true},
+		{Name: "pod-pod-ingress-rule", Tables: []int{0, 1, 2, 3, 12, 18, 20, 21}},
+		{Name: "pod-pod-ingress-deny", Tables: []int{0, 1, 2, 3, 12, 18, 19}, Drop: true},
+		// Pod-to-service (LB + DNAT) paths.
+		{Name: "pod-svc", Tables: []int{0, 1, 2, 3, 4, 5, 6, 7, 12, 20, 21}},
+		{Name: "pod-svc-affinity", Tables: []int{0, 1, 2, 3, 4, 5, 12, 21}},
+		{Name: "pod-svc-policy", Tables: []int{0, 1, 2, 3, 4, 6, 7, 8, 12, 17, 20, 21}},
+		{Name: "pod-svc-mark", Tables: []int{0, 1, 2, 3, 4, 6, 7, 12, 16, 20, 21}},
+		{Name: "svc-reply", Tables: []int{0, 2, 3, 12, 16, 20, 21}},
+		// Egress (pod-to-external) with SNAT.
+		{Name: "pod-external", Tables: []int{0, 1, 2, 3, 9, 12, 13, 14, 21}},
+		{Name: "pod-external-policy", Tables: []int{0, 1, 2, 3, 8, 9, 12, 13, 14, 20, 21}},
+		{Name: "pod-external-deny", Tables: []int{0, 1, 2, 3, 9, 10}, Drop: true},
+		{Name: "pod-external-ttl", Tables: []int{0, 1, 2, 3, 9, 12, 14, 15, 21}},
+		{Name: "egress-metric-path", Tables: []int{0, 1, 2, 3, 9, 11, 12, 14, 21}},
+		// External/node ingress toward pods.
+		{Name: "external-pod", Tables: []int{0, 2, 3, 12, 17, 18, 20, 21}},
+		{Name: "external-pod-deny", Tables: []int{0, 2, 3, 12, 17, 19}, Drop: true},
+		{Name: "external-svc", Tables: []int{0, 2, 3, 4, 6, 7, 12, 20, 21}},
+		{Name: "node-local", Tables: []int{0, 2, 3, 12, 21}},
+		{Name: "spoofed-drop", Tables: []int{0, 1}, Drop: true},
+	},
+}

@@ -1,0 +1,83 @@
+package pipelines
+
+import "gigaflow/internal/flow"
+
+// OFD models the OpenFlow Data Plane Abstraction (OF-DPA) pipeline used to
+// integrate hardware/software switches in CORD: 10 tables, 5 traversals
+// (Table 1).
+var OFD = &Spec{
+	Name:        "OFD",
+	Description: "OF-DPA hardware/software switch integration pipeline (CORD)",
+	Tables: []TableSpec{
+		{ID: 0, Name: "ingress-port", Fields: fPort},
+		{ID: 1, Name: "vlan", Fields: fPort.Union(fEthType)},
+		{ID: 2, Name: "termination-mac", Fields: fEthDst.Union(fEthType)},
+		{ID: 3, Name: "unicast-routing", Fields: fIPDst, Rewrites: fMACRW},
+		{ID: 4, Name: "multicast-routing", Fields: fIPDst, Rewrites: fMACRW},
+		{ID: 5, Name: "bridging", Fields: fEthDst},
+		{ID: 6, Name: "acl-policy", Fields: f5Tuple},
+		{ID: 7, Name: "l2-interface-group", Fields: fEthDst},
+		{ID: 8, Name: "l3-unicast-group", Fields: fIPDst, Rewrites: fEthSrc},
+		{ID: 9, Name: "egress", Fields: fPort},
+	},
+	Traversals: []TraversalSpec{
+		{Name: "bridged", Tables: []int{0, 1, 5, 6, 7, 9}},
+		{Name: "routed-unicast", Tables: []int{0, 1, 2, 3, 6, 8, 9}},
+		{Name: "routed-multicast", Tables: []int{0, 1, 2, 4, 6, 9}},
+		{Name: "acl-deny", Tables: []int{0, 1, 5, 6}, Drop: true},
+		{Name: "port-forward", Tables: []int{0, 1, 6, 9}},
+	},
+}
+
+// PSC models the PISCES L2L3-ACL Open vSwitch pipeline: 7 tables, 2
+// traversals (Table 1).
+var PSC = &Spec{
+	Name:        "PSC",
+	Description: "PISCES L2L3-ACL OVS pipeline",
+	Tables: []TableSpec{
+		{ID: 0, Name: "ingress", Fields: fPort},
+		{ID: 1, Name: "validate", Fields: fEthType},
+		{ID: 2, Name: "l2-learn", Fields: fEthSrc},
+		{ID: 3, Name: "l2-forward", Fields: fEthDst},
+		{ID: 4, Name: "l3-route", Fields: fIPDst, Rewrites: fMACRW},
+		{ID: 5, Name: "acl", Fields: f5Tuple},
+		{ID: 6, Name: "egress", Fields: fEthDst},
+	},
+	Traversals: []TraversalSpec{
+		{Name: "l2-switched", Tables: []int{0, 1, 2, 3, 6}},
+		{Name: "l3-routed-acl", Tables: []int{0, 1, 2, 4, 5, 6}},
+	},
+}
+
+// OTL models an OpenFlow Table Type Patterns (TTP) L2L3-ACL configuration:
+// 8 tables, 11 traversals (Table 1).
+var OTL = &Spec{
+	Name:        "OTL",
+	Description: "OpenFlow TTP L2-L3-ACL policy pipeline",
+	Tables: []TableSpec{
+		{ID: 0, Name: "port", Fields: fPort},
+		{ID: 1, Name: "vlan-check", Fields: fPort.Union(fEthType)},
+		{ID: 2, Name: "mac-termination", Fields: fEthDst},
+		{ID: 3, Name: "l2-bridge", Fields: fEthDst},
+		{ID: 4, Name: "l3-unicast", Fields: fIPDst, Rewrites: fMACRW},
+		{ID: 5, Name: "l3-multicast", Fields: fIPDst},
+		{ID: 6, Name: "acl", Fields: f5Tuple},
+		{ID: 7, Name: "egress", Fields: fEthDst},
+	},
+	Traversals: []TraversalSpec{
+		{Name: "bridge", Tables: []int{0, 1, 3, 7}},
+		{Name: "bridge-acl", Tables: []int{0, 1, 3, 6, 7}},
+		{Name: "bridge-acl-deny", Tables: []int{0, 1, 3, 6}, Drop: true},
+		{Name: "route-ucast", Tables: []int{0, 1, 2, 4, 7}},
+		{Name: "route-ucast-acl", Tables: []int{0, 1, 2, 4, 6, 7}},
+		{Name: "route-ucast-acl-deny", Tables: []int{0, 1, 2, 4, 6}, Drop: true},
+		{Name: "route-mcast", Tables: []int{0, 1, 2, 5, 7}},
+		{Name: "route-mcast-acl", Tables: []int{0, 1, 2, 5, 6, 7}},
+		{Name: "port-direct", Tables: []int{0, 6, 7}},
+		{Name: "vlan-deny", Tables: []int{0, 1}, Drop: true},
+		{Name: "mac-term-miss-bridge", Tables: []int{0, 1, 2, 3, 7}},
+	},
+}
+
+// ipSvc matches a virtual-service address and rewrites it (load balancing).
+var ipSvc = flow.NewFieldSet(flow.FieldEthType, flow.FieldIPDst, flow.FieldIPProto, flow.FieldTpDst)

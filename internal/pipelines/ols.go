@@ -1,0 +1,74 @@
+package pipelines
+
+import "gigaflow/internal/flow"
+
+// OLS models the OVN logical-switch pipeline (ingress + egress stages) that
+// manages virtual network topologies over OVS: 30 tables, 23 traversals
+// (Table 1). Stage names follow ovn-northd's logical flow tables.
+var OLS = &Spec{
+	Name:        "OLS",
+	Description: "OVN logical switch (ingress+egress logical flow stages)",
+	Tables: []TableSpec{
+		{ID: 0, Name: "ls_in_port_sec_l2", Fields: fPort.Union(fEthSrc)},
+		{ID: 1, Name: "ls_in_port_sec_ip", Fields: fEthSrc.Union(fIPSrc)},
+		{ID: 2, Name: "ls_in_port_sec_nd", Fields: fEthSrc.Union(fEthType)},
+		{ID: 3, Name: "ls_in_lookup_fdb", Fields: fPort.Union(fEthSrc)},
+		{ID: 4, Name: "ls_in_put_fdb", Fields: fEthSrc},
+		{ID: 5, Name: "ls_in_pre_acl", Fields: fProto.Union(fEthType)},
+		{ID: 6, Name: "ls_in_pre_lb", Fields: fIPDst.Union(fProto)},
+		{ID: 7, Name: "ls_in_pre_stateful", Fields: fProto},
+		{ID: 8, Name: "ls_in_acl_hint", Fields: fTpDst},
+		{ID: 9, Name: "ls_in_acl", Fields: f5Tuple},
+		{ID: 10, Name: "ls_in_qos_mark", Fields: fIPDst.Union(fTpDst)},
+		{ID: 11, Name: "ls_in_lb", Fields: ipSvc, Rewrites: flow.NewFieldSet(flow.FieldIPDst, flow.FieldTpDst)},
+		{ID: 12, Name: "ls_in_stateful", Fields: fProto},
+		{ID: 13, Name: "ls_in_arp_rsp", Fields: fEthDst.Union(fEthType)},
+		{ID: 14, Name: "ls_in_dhcp_options", Fields: fTpDst},
+		{ID: 15, Name: "ls_in_dhcp_response", Fields: fTpSrc},
+		{ID: 16, Name: "ls_in_dns_lookup", Fields: fTpDst},
+		{ID: 17, Name: "ls_in_dns_response", Fields: fTpSrc},
+		{ID: 18, Name: "ls_in_external_port", Fields: fPort.Union(fEthSrc)},
+		{ID: 19, Name: "ls_in_l2_lkup", Fields: fEthDst},
+		{ID: 20, Name: "ls_in_l2_unknown", Fields: fEthDst},
+		{ID: 21, Name: "ls_out_pre_lb", Fields: fProto},
+		{ID: 22, Name: "ls_out_pre_acl", Fields: fProto.Union(fEthType)},
+		{ID: 23, Name: "ls_out_pre_stateful", Fields: fProto},
+		{ID: 24, Name: "ls_out_lb", Fields: ipSvc, Rewrites: flow.NewFieldSet(flow.FieldIPDst)},
+		{ID: 25, Name: "ls_out_acl_hint", Fields: fTpDst},
+		{ID: 26, Name: "ls_out_acl", Fields: f5Tuple},
+		{ID: 27, Name: "ls_out_qos_mark", Fields: fIPDst},
+		{ID: 28, Name: "ls_out_stateful", Fields: fProto},
+		{ID: 29, Name: "ls_out_port_sec_l2", Fields: fEthDst},
+	},
+	Traversals: []TraversalSpec{
+		// Plain L2 unicast with and without ACL stages engaged.
+		{Name: "l2-basic", Tables: []int{0, 3, 19, 29}},
+		{Name: "l2-acl", Tables: []int{0, 3, 5, 9, 19, 22, 26, 29}},
+		{Name: "l2-acl-deny", Tables: []int{0, 3, 5, 9}, Drop: true},
+		{Name: "l2-portsec-ip", Tables: []int{0, 1, 3, 19, 29}},
+		{Name: "l2-portsec-deny", Tables: []int{0, 1}, Drop: true},
+		{Name: "l2-portsec-nd", Tables: []int{0, 2, 3, 19, 29}},
+		{Name: "l2-fdb-learn", Tables: []int{0, 3, 4, 19, 29}},
+		// Load-balanced service paths.
+		{Name: "lb-tcp", Tables: []int{0, 3, 6, 7, 11, 12, 19, 21, 29}},
+		{Name: "lb-acl", Tables: []int{0, 3, 5, 6, 7, 8, 9, 11, 12, 19, 22, 26, 29}},
+		{Name: "lb-out", Tables: []int{0, 3, 6, 19, 23, 24, 28, 29}},
+		{Name: "lb-qos", Tables: []int{0, 3, 6, 10, 11, 19, 27, 29}},
+		// ARP/ND responder and unknown-MAC flooding.
+		{Name: "arp-responder", Tables: []int{0, 3, 13, 19, 29}},
+		{Name: "l2-unknown-flood", Tables: []int{0, 3, 19, 20, 29}},
+		{Name: "l2-unknown-acl", Tables: []int{0, 3, 9, 19, 20, 26, 29}},
+		// DHCP and DNS service paths.
+		{Name: "dhcp-request", Tables: []int{0, 3, 14, 15, 19, 29}},
+		{Name: "dns-lookup", Tables: []int{0, 3, 16, 17, 19, 29}},
+		{Name: "dns-acl", Tables: []int{0, 3, 9, 16, 19, 26, 29}},
+		// External/localnet port handling.
+		{Name: "external-port", Tables: []int{0, 3, 18, 19, 29}},
+		{Name: "external-acl", Tables: []int{0, 3, 9, 18, 19, 26, 29}},
+		// Stateful firewall paths with hints.
+		{Name: "stateful-new", Tables: []int{0, 3, 5, 7, 8, 9, 12, 19, 22, 25, 26, 28, 29}},
+		{Name: "stateful-reply", Tables: []int{0, 3, 7, 8, 9, 12, 19, 23, 25, 26, 28, 29}},
+		{Name: "qos-only", Tables: []int{0, 3, 10, 19, 27, 29}},
+		{Name: "out-acl-deny", Tables: []int{0, 3, 19, 22, 26}, Drop: true},
+	},
+}

@@ -1,0 +1,181 @@
+package pipelines
+
+import (
+	"testing"
+
+	"gigaflow/internal/flow"
+)
+
+// Table 1 of the paper: tables and unique traversals per pipeline.
+var table1 = map[string]struct{ tables, traversals int }{
+	"OFD": {10, 5},
+	"PSC": {7, 2},
+	"OLS": {30, 23},
+	"ANT": {22, 20},
+	"OTL": {8, 11},
+}
+
+func TestTable1Inventory(t *testing.T) {
+	if len(All()) != 5 {
+		t.Fatalf("expected 5 pipelines, got %d", len(All()))
+	}
+	for _, s := range All() {
+		want, ok := table1[s.Name]
+		if !ok {
+			t.Fatalf("unexpected pipeline %s", s.Name)
+		}
+		if s.NumTables() != want.tables {
+			t.Errorf("%s: %d tables, Table 1 says %d", s.Name, s.NumTables(), want.tables)
+		}
+		if s.NumTraversals() != want.traversals {
+			t.Errorf("%s: %d traversals, Table 1 says %d", s.Name, s.NumTraversals(), want.traversals)
+		}
+	}
+}
+
+func TestAllSpecsValidate(t *testing.T) {
+	for _, s := range All() {
+		if err := s.Validate(); err != nil {
+			t.Errorf("%s: %v", s.Name, err)
+		}
+	}
+}
+
+func TestTraversalsStartAtStartTable(t *testing.T) {
+	for _, s := range All() {
+		start := s.Tables[0].ID
+		for _, tr := range s.Traversals {
+			if tr.Tables[0] != start {
+				t.Errorf("%s/%s: starts at table %d, pipeline start is %d",
+					s.Name, tr.Name, tr.Tables[0], start)
+			}
+		}
+	}
+}
+
+func TestBuildCreatesAllTables(t *testing.T) {
+	for _, s := range All() {
+		p := s.Build()
+		if p.NumTables() != s.NumTables() {
+			t.Errorf("%s: built %d tables, want %d", s.Name, p.NumTables(), s.NumTables())
+		}
+		if p.Name != s.Name {
+			t.Errorf("%s: pipeline name %q", s.Name, p.Name)
+		}
+		for _, ts := range s.Tables {
+			tab := p.Table(ts.ID)
+			if tab == nil {
+				t.Fatalf("%s: table %d missing after Build", s.Name, ts.ID)
+			}
+			if tab.MatchFields != ts.Fields {
+				t.Errorf("%s table %d: fields %v, want %v", s.Name, ts.ID, tab.MatchFields, ts.Fields)
+			}
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	for name := range table1 {
+		s, ok := ByName(name)
+		if !ok || s.Name != name {
+			t.Errorf("ByName(%q) = %v, %v", name, s, ok)
+		}
+	}
+	if _, ok := ByName("XXX"); ok {
+		t.Error("ByName should reject unknown names")
+	}
+}
+
+func TestTableAccessor(t *testing.T) {
+	if OFD.Table(3) == nil || OFD.Table(3).Name != "unicast-routing" {
+		t.Error("Table(3) wrong")
+	}
+	if OFD.Table(99) != nil {
+		t.Error("Table(99) should be nil")
+	}
+}
+
+func TestRewritingStagesDeclareRewrites(t *testing.T) {
+	// Every routing stage must rewrite MACs; every LB stage must rewrite
+	// its service fields; rewritten fields should not be empty for stages
+	// named l3/routing/lb/nat.
+	found := 0
+	for _, s := range All() {
+		for _, ts := range s.Tables {
+			if !ts.Rewrites.Empty() {
+				found++
+				if ts.Rewrites.Intersect(flow.AllFields) != ts.Rewrites {
+					t.Errorf("%s/%s: bad rewrite set", s.Name, ts.Name)
+				}
+			}
+		}
+	}
+	if found < 8 {
+		t.Errorf("only %d rewriting stages across all pipelines; expected ≥ 8", found)
+	}
+}
+
+func TestDropTraversalsExist(t *testing.T) {
+	// Each pipeline with an ACL stage should model at least one deny path,
+	// except PSC whose two traversals are both forwarding paths.
+	for _, s := range All() {
+		if s.Name == "PSC" {
+			continue
+		}
+		hasDrop := false
+		for _, tr := range s.Traversals {
+			if tr.Drop {
+				hasDrop = true
+			}
+		}
+		if !hasDrop {
+			t.Errorf("%s: no drop traversal modelled", s.Name)
+		}
+	}
+}
+
+func TestValidateCatchesBadSpecs(t *testing.T) {
+	bad := &Spec{
+		Name:       "BAD",
+		Tables:     []TableSpec{{ID: 0, Name: "a", Fields: fPort}, {ID: 0, Name: "b", Fields: fPort}},
+		Traversals: []TraversalSpec{{Name: "t", Tables: []int{0}}},
+	}
+	if bad.Validate() == nil {
+		t.Error("duplicate table IDs must fail")
+	}
+	bad = &Spec{
+		Name:       "BAD2",
+		Tables:     []TableSpec{{ID: 0, Name: "a", Fields: fPort}, {ID: 1, Name: "b", Fields: fPort}},
+		Traversals: []TraversalSpec{{Name: "t", Tables: []int{1, 0}}},
+	}
+	if bad.Validate() == nil {
+		t.Error("non-increasing traversal must fail")
+	}
+	bad = &Spec{
+		Name:       "BAD3",
+		Tables:     []TableSpec{{ID: 0, Name: "a", Fields: fPort}},
+		Traversals: []TraversalSpec{{Name: "t", Tables: []int{0, 5}}},
+	}
+	if bad.Validate() == nil {
+		t.Error("unknown table reference must fail")
+	}
+	bad = &Spec{
+		Name:       "BAD4",
+		Tables:     []TableSpec{{ID: 0, Name: "a", Fields: 0}},
+		Traversals: []TraversalSpec{{Name: "t", Tables: []int{0}}},
+	}
+	if bad.Validate() == nil {
+		t.Error("empty field template must fail")
+	}
+	bad = &Spec{
+		Name:   "BAD5",
+		Tables: []TableSpec{{ID: 0, Name: "a", Fields: fPort}},
+		Traversals: []TraversalSpec{
+			{Name: "t1", Tables: []int{0}},
+			{Name: "t2", Tables: []int{0}},
+		},
+	}
+	if bad.Validate() == nil {
+		t.Error("duplicate traversal paths must fail")
+	}
+}

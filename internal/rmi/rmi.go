@@ -1,0 +1,382 @@
+// Package rmi implements a NuevoMatch-style learned packet classifier
+// (Rashelbach, Rottenstreich, Silberstein; SIGCOMM '20 / NSDI '22): the
+// Range-Query Recursive Model Index (RQ-RMI) search the paper evaluates as
+// the "NM" alternative to Tuple Space Search (Fig. 17).
+//
+// Rules are partitioned into iSets — groups whose constraints on one
+// selected field form non-overlapping value ranges. Each iSet gets a
+// two-stage learned model (a root linear model dispatching into per-bucket
+// linear models) that predicts a value's position in the iSet's sorted
+// range array with a measured error bound; a lookup evaluates the model
+// and validates only the rules inside the error window, falling back to
+// binary search when the window fails to bracket the value. Rules that fit
+// no iSet go to a TSS remainder. Lookup cost is O(#iSets · window +
+// remainder tuples), essentially independent of rule count — the property
+// Fig. 17's latency comparison relies on.
+package rmi
+
+import (
+	"fmt"
+	"sort"
+
+	"gigaflow/internal/flow"
+	"gigaflow/internal/tss"
+)
+
+// Entry is one classifier rule.
+type Entry[T any] struct {
+	Match    flow.Match
+	Priority int
+	Value    T
+}
+
+// interval is one rule's range on the selected field.
+type interval[T any] struct {
+	lo, hi uint64
+	entry  *Entry[T]
+}
+
+// submodel is a linear model with a measured worst-case index error.
+type submodel struct {
+	slope, bias float64
+	maxErr      int
+}
+
+func (m submodel) predict(x float64) int { return int(m.slope*x + m.bias) }
+
+// iSet holds non-overlapping intervals over one field, sorted by lo, with
+// a two-stage learned index over them.
+type iSet[T any] struct {
+	field     flow.FieldID
+	intervals []interval[T]
+	root      submodel
+	leaves    []submodel
+}
+
+// Config parameterises classifier construction.
+type Config struct {
+	// Field restricts iSets to one dimension; when FieldSet is false every
+	// candidate dimension is tried per iSet and the most discriminating
+	// one wins (NuevoMatch's iSet partitioning, approximated per
+	// dimension).
+	Field flow.FieldID
+	// FieldSet marks Field as explicitly configured (allows Field 0).
+	FieldSet bool
+	// MaxISets bounds the number of iSets; leftovers go to the TSS
+	// remainder (default 4, as NuevoMatch typically needs 2–4).
+	MaxISets int
+	// Leaves is the number of second-stage models per iSet (default 64).
+	Leaves int
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxISets == 0 {
+		c.MaxISets = 4
+	}
+	if c.Leaves == 0 {
+		c.Leaves = 64
+	}
+	return c
+}
+
+// candidateFields are the dimensions iSets may be built over, in
+// preference order for ties.
+var candidateFields = []flow.FieldID{
+	flow.FieldIPDst, flow.FieldIPSrc, flow.FieldTpDst, flow.FieldTpSrc,
+	flow.FieldEthDst, flow.FieldEthSrc, flow.FieldInPort,
+}
+
+// Classifier is an immutable learned classifier built from a rule
+// snapshot. Unlike TSS it does not support incremental updates — real
+// NuevoMatch retrains in the background; callers rebuild on rule changes.
+type Classifier[T any] struct {
+	cfg       Config
+	isets     []*iSet[T]
+	remainder *tss.Classifier[*Entry[T]]
+	total     int
+
+	// Lookups and Cost accumulate per-lookup work (model evaluations,
+	// window validations, binary-search steps, remainder tuple probes) for
+	// the latency model.
+	Lookups uint64
+	Cost    uint64
+}
+
+// Build constructs a classifier from the given entries.
+func Build[T any](entries []*Entry[T], cfg Config) *Classifier[T] {
+	cfg = cfg.withDefaults()
+	c := &Classifier[T]{cfg: cfg, remainder: tss.New[*Entry[T]](), total: len(entries)}
+
+	fields := candidateFields
+	if cfg.FieldSet || cfg.Field != 0 {
+		fields = []flow.FieldID{cfg.Field}
+	}
+
+	remaining := make([]*Entry[T], 0, len(entries))
+	for _, e := range entries {
+		e.Match = e.Match.Normalize()
+		remaining = append(remaining, e)
+	}
+
+	// Greedy iSet extraction: each round, evaluate every candidate field
+	// and keep the one yielding the largest non-overlapping interval
+	// subset — the dimension that best discriminates the remaining rules.
+	for len(remaining) > 0 && len(c.isets) < cfg.MaxISets {
+		var bestTaken []interval[T]
+		var bestRest []*Entry[T]
+		var bestField flow.FieldID
+		for _, f := range fields {
+			taken, rest := extractISet(remaining, f)
+			if len(taken) > len(bestTaken) {
+				bestTaken, bestRest, bestField = taken, rest, f
+			}
+		}
+		if len(bestTaken) <= 1 {
+			break // no dimension separates what's left; TSS handles it
+		}
+		s := &iSet[T]{field: bestField, intervals: bestTaken}
+		s.train(cfg.Leaves)
+		c.isets = append(c.isets, s)
+		remaining = bestRest
+	}
+	for _, e := range remaining {
+		c.remainder.Insert(&tss.Entry[*Entry[T]]{Match: e.Match, Priority: e.Priority, Value: e})
+	}
+	return c
+}
+
+// extractISet sweeps entries sorted by their interval on f, taking a
+// maximal non-overlapping subset. Entries whose constraint on f is absent
+// (wildcard, which would be a poisonous full-range interval) or not
+// range-expressible are left in the rest.
+func extractISet[T any](entries []*Entry[T], f flow.FieldID) (taken []interval[T], rest []*Entry[T]) {
+	ivs := make([]interval[T], 0, len(entries))
+	for _, e := range entries {
+		iv, ok := toInterval(e, f)
+		if !ok {
+			rest = append(rest, e)
+			continue
+		}
+		ivs = append(ivs, iv)
+	}
+	sort.Slice(ivs, func(i, j int) bool {
+		if ivs[i].hi != ivs[j].hi {
+			return ivs[i].hi < ivs[j].hi // classic interval scheduling: by right edge
+		}
+		return ivs[i].lo < ivs[j].lo
+	})
+	first := true
+	var lastHi uint64
+	for _, iv := range ivs {
+		if first || iv.lo > lastHi {
+			taken = append(taken, iv)
+			lastHi = iv.hi
+			first = false
+		} else {
+			rest = append(rest, iv.entry)
+		}
+	}
+	return taken, rest
+}
+
+// toInterval converts a rule's constraint on field f to a closed interval.
+// Exact matches and prefix (LPM-style) masks are range-expressible;
+// wildcards (full-range, they would overlap everything) and other ternary
+// masks are not.
+func toInterval[T any](e *Entry[T], f flow.FieldID) (interval[T], bool) {
+	mask := e.Match.Mask[f]
+	if mask == 0 {
+		return interval[T]{}, false
+	}
+	n := 0
+	for v := mask; v != 0; v &= v - 1 {
+		n++
+	}
+	if mask != flow.PrefixMask0(f.Width(), uint(n)) {
+		return interval[T]{}, false
+	}
+	lo := e.Match.Key[f] & mask
+	hi := lo | (f.MaxValue() &^ mask)
+	return interval[T]{lo: lo, hi: hi, entry: e}, true
+}
+
+// train fits the two-stage model and measures per-leaf error bounds.
+func (s *iSet[T]) train(nLeaves int) {
+	n := len(s.intervals)
+	if n == 0 {
+		return
+	}
+	if nLeaves > n {
+		nLeaves = n
+	}
+	s.root = fitLinear(s.intervals, 0, n, float64(nLeaves)/float64(n))
+	s.leaves = make([]submodel, nLeaves)
+	leafOf := func(i int) int {
+		return clamp(s.root.predict(float64(s.intervals[i].lo)), 0, nLeaves-1)
+	}
+	start := 0
+	for leaf := 0; leaf < nLeaves; leaf++ {
+		end := start
+		for end < n && leafOf(end) == leaf {
+			end++
+		}
+		if end > start {
+			m := fitLinear(s.intervals, start, end, 1)
+			for i := start; i < end; i++ {
+				if d := absInt(m.predict(float64(s.intervals[i].lo)) - i); d > m.maxErr {
+					m.maxErr = d
+				}
+			}
+			s.leaves[leaf] = m
+		}
+		start = end
+	}
+}
+
+// fitLinear least-squares fits index·scale against lo over [start, end),
+// clamping the slope to be non-negative (keys are sorted, predictions must
+// be monotone).
+func fitLinear[T any](ivs []interval[T], start, end int, scale float64) submodel {
+	n := float64(end - start)
+	if n <= 1 {
+		idx := 0.0
+		if end > start {
+			idx = float64(start) * scale
+		}
+		return submodel{bias: idx}
+	}
+	var sx, sy, sxx, sxy float64
+	for i := start; i < end; i++ {
+		x := float64(ivs[i].lo)
+		y := float64(i) * scale
+		sx += x
+		sy += y
+		sxx += x * x
+		sxy += x * y
+	}
+	denom := n*sxx - sx*sx
+	if denom == 0 {
+		return submodel{bias: sy / n}
+	}
+	slope := (n*sxy - sx*sy) / denom
+	if slope < 0 {
+		slope = 0
+	}
+	return submodel{slope: slope, bias: (sy - slope*sx) / n}
+}
+
+// lookup finds the iSet rule whose interval contains v and whose full
+// match covers k. Returns the entry (or nil) and the work performed.
+func (s *iSet[T]) lookup(v uint64, k flow.Key) (*Entry[T], int) {
+	n := len(s.intervals)
+	if n == 0 {
+		return nil, 0
+	}
+	cost := 2 // root + leaf model evaluations
+	leaf := clamp(s.root.predict(float64(v)), 0, len(s.leaves)-1)
+	m := s.leaves[leaf]
+	idx := clamp(m.predict(float64(v)), 0, n-1)
+	w := m.maxErr + 1
+	lo, hi := clamp(idx-w, 0, n-1), clamp(idx+w, 0, n-1)
+
+	// The target position is the last interval with lo ≤ v. Trust the
+	// window only when it provably brackets that position.
+	bracketed := (lo == 0 || s.intervals[lo].lo <= v) && (hi == n-1 || s.intervals[hi+1].lo > v)
+	var pos int
+	if bracketed {
+		pos = lo - 1
+		for i := lo; i <= hi && s.intervals[i].lo <= v; i++ {
+			pos = i
+			cost++
+		}
+	} else {
+		// Model miss: fall back to binary search over the whole iSet.
+		pos = sort.Search(n, func(i int) bool { return s.intervals[i].lo > v }) - 1
+		cost += log2ceil(n)
+	}
+	if pos < 0 {
+		return nil, cost
+	}
+	iv := s.intervals[pos]
+	cost++ // validation
+	if v <= iv.hi && iv.entry.Match.Matches(k) {
+		return iv.entry, cost
+	}
+	return nil, cost
+}
+
+// Lookup returns the highest-priority entry matching k and the work
+// performed (for cost modelling).
+func (c *Classifier[T]) Lookup(k flow.Key) (*Entry[T], int) {
+	c.Lookups++
+	var best *Entry[T]
+	cost := 0
+	for _, s := range c.isets {
+		e, cc := s.lookup(k.Get(s.field), k)
+		cost += cc
+		if e != nil && (best == nil || e.Priority > best.Priority) {
+			best = e
+		}
+	}
+	re, probes := c.remainder.Lookup(k)
+	cost += probes
+	if re != nil && (best == nil || re.Value.Priority > best.Priority) {
+		best = re.Value
+	}
+	c.Cost += uint64(cost)
+	return best, cost
+}
+
+// NumISets reports how many iSets were extracted.
+func (c *Classifier[T]) NumISets() int { return len(c.isets) }
+
+// RemainderSize reports how many rules fell back to the TSS remainder.
+func (c *Classifier[T]) RemainderSize() int { return c.remainder.Len() }
+
+// Len reports the total rule count.
+func (c *Classifier[T]) Len() int { return c.total }
+
+// MaxError reports the largest per-leaf error bound across iSets — the
+// bounded-error property of RQ-RMI.
+func (c *Classifier[T]) MaxError() int {
+	max := 0
+	for _, s := range c.isets {
+		for _, m := range s.leaves {
+			if m.maxErr > max {
+				max = m.maxErr
+			}
+		}
+	}
+	return max
+}
+
+// String summarises the classifier shape.
+func (c *Classifier[T]) String() string {
+	return fmt.Sprintf("rmi(%d rules, %d isets, %d remainder, maxErr %d)",
+		c.total, len(c.isets), c.remainder.Len(), c.MaxError())
+}
+
+func clamp(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func absInt(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func log2ceil(n int) int {
+	b := 0
+	for v := n - 1; v > 0; v >>= 1 {
+		b++
+	}
+	return b
+}

@@ -1,0 +1,234 @@
+package rmi
+
+import (
+	"math/rand"
+	"testing"
+
+	"gigaflow/internal/classbench"
+	"gigaflow/internal/flow"
+)
+
+func prefixEntry(addr uint64, plen uint, prio, val int) *Entry[int] {
+	m := flow.MatchAll().WithMaskedField(flow.FieldIPDst, addr, flow.PrefixMask(flow.FieldIPDst, plen))
+	return &Entry[int]{Match: m, Priority: prio, Value: val}
+}
+
+func TestLookupBasicLPM(t *testing.T) {
+	entries := []*Entry[int]{
+		prefixEntry(0x0a000000, 8, 1, 1),  // 10/8
+		prefixEntry(0x0a010000, 16, 2, 2), // 10.1/16
+		prefixEntry(0x0a010200, 24, 3, 3), // 10.1.2/24
+		prefixEntry(0x0b000000, 8, 1, 4),  // 11/8
+	}
+	c := Build(entries, Config{})
+	cases := []struct {
+		ip   uint64
+		want int
+	}{
+		{0x0a010203, 3},
+		{0x0a010300, 2},
+		{0x0a090000, 1},
+		{0x0b123456, 4},
+	}
+	for _, tc := range cases {
+		e, _ := c.Lookup(flow.Key{}.With(flow.FieldIPDst, tc.ip))
+		if e == nil || e.Value != tc.want {
+			t.Errorf("ip %#x: got %v, want value %d", tc.ip, e, tc.want)
+		}
+	}
+	if e, _ := c.Lookup(flow.Key{}.With(flow.FieldIPDst, 0x0c000000)); e != nil {
+		t.Errorf("expected miss, got %v", e)
+	}
+}
+
+func TestNonContiguousMaskGoesToRemainder(t *testing.T) {
+	weird := &Entry[int]{
+		Match:    flow.NewMatch(flow.Key{}.With(flow.FieldIPDst, 0x01000001), flow.Mask{}.With(flow.FieldIPDst, 0xff0000ff)),
+		Priority: 5, Value: 9,
+	}
+	c := Build([]*Entry[int]{weird, prefixEntry(0x0a000000, 8, 1, 1), prefixEntry(0x0b000000, 8, 1, 2)}, Config{})
+	// The non-contiguous mask cannot join an iSet; it must live in the
+	// remainder and still be found.
+	if c.RemainderSize() < 1 {
+		t.Fatalf("remainder = %d, want >= 1", c.RemainderSize())
+	}
+	e, _ := c.Lookup(flow.Key{}.With(flow.FieldIPDst, 0x01aabb01))
+	if e == nil || e.Value != 9 {
+		t.Errorf("remainder rule not found: %v", e)
+	}
+	if e, _ := c.Lookup(flow.Key{}.With(flow.FieldIPDst, 0x0b000005)); e == nil || e.Value != 2 {
+		t.Errorf("iSet rule not found: %v", e)
+	}
+}
+
+func TestAgainstLinearScanOnClassbench(t *testing.T) {
+	rules := classbench.Generate(classbench.Config{Personality: classbench.ACL, Seed: 3, NumRules: 5000})
+	entries := make([]*Entry[int], len(rules))
+	for i, r := range rules {
+		entries[i] = &Entry[int]{Match: r.Match, Priority: r.Priority, Value: i}
+	}
+	c := Build(entries, Config{})
+	if c.Len() != len(rules) {
+		t.Fatalf("Len = %d", c.Len())
+	}
+
+	rng := rand.New(rand.NewSource(4))
+	linear := func(k flow.Key) *Entry[int] {
+		var best *Entry[int]
+		for _, e := range entries {
+			if e.Match.Matches(k) && (best == nil || e.Priority > best.Priority) {
+				best = e
+			}
+		}
+		return best
+	}
+	for trial := 0; trial < 3000; trial++ {
+		// Half the probes target a rule; half are random.
+		var k flow.Key
+		if trial%2 == 0 {
+			k = classbench.SampleKey(rules[rng.Intn(len(rules))], rng)
+		} else {
+			k = flow.Key{}.
+				With(flow.FieldIPDst, rng.Uint64()).
+				With(flow.FieldIPSrc, rng.Uint64()).
+				With(flow.FieldIPProto, 6).
+				With(flow.FieldTpDst, uint64(rng.Intn(1000)))
+		}
+		want := linear(k)
+		got, _ := c.Lookup(k)
+		switch {
+		case want == nil && got != nil:
+			t.Fatalf("key %s: rmi hit %v, linear miss", k, got.Match)
+		case want != nil && got == nil:
+			t.Fatalf("key %s: rmi miss, linear hit %v", k, want.Match)
+		case want != nil && got.Priority != want.Priority:
+			t.Fatalf("key %s: rmi prio %d, linear prio %d", k, got.Priority, want.Priority)
+		}
+	}
+}
+
+func TestCostIndependentOfRuleCount(t *testing.T) {
+	costAt := func(n int) float64 {
+		rules := classbench.Generate(classbench.Config{Personality: classbench.ACL, Seed: 5, NumRules: n})
+		entries := make([]*Entry[int], len(rules))
+		for i, r := range rules {
+			entries[i] = &Entry[int]{Match: r.Match, Priority: r.Priority, Value: i}
+		}
+		c := Build(entries, Config{})
+		rng := rand.New(rand.NewSource(6))
+		for i := 0; i < 2000; i++ {
+			c.Lookup(classbench.SampleKey(rules[rng.Intn(len(rules))], rng))
+		}
+		return float64(c.Cost) / float64(c.Lookups)
+	}
+	small, large := costAt(1000), costAt(20000)
+	// A 20× larger ruleset must not cost anywhere near 20× more per
+	// lookup; allow generous slack for window growth.
+	if large > small*6 {
+		t.Errorf("cost scaled with rules: %.1f -> %.1f", small, large)
+	}
+}
+
+func TestErrorBoundRespected(t *testing.T) {
+	// Adversarially clustered keys: prediction errors exist but must be
+	// bounded and honoured (every training key found via its window or
+	// the binary-search fallback — verified by exact lookups).
+	var entries []*Entry[int]
+	v := uint64(0)
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 5000; i++ {
+		if i%100 == 0 {
+			v += uint64(rng.Intn(1 << 20)) // jumps create model error
+		}
+		v += uint64(1 + rng.Intn(3))
+		entries = append(entries, &Entry[int]{
+			Match:    flow.MatchAll().WithField(flow.FieldIPDst, v),
+			Priority: 1, Value: i,
+		})
+	}
+	c := Build(entries, Config{})
+	for _, e := range entries {
+		got, _ := c.Lookup(e.Match.Key)
+		if got == nil || got.Value != e.Value {
+			t.Fatalf("exact-match rule for %#x not found (got %v)", e.Match.Key[flow.FieldIPDst], got)
+		}
+	}
+	if c.MaxError() < 0 {
+		t.Error("negative error bound")
+	}
+}
+
+func TestISetsNonOverlapping(t *testing.T) {
+	rules := classbench.Generate(classbench.Config{Personality: FWPersonality(), Seed: 8, NumRules: 3000})
+	entries := make([]*Entry[int], len(rules))
+	for i, r := range rules {
+		entries[i] = &Entry[int]{Match: r.Match, Priority: r.Priority, Value: i}
+	}
+	c := Build(entries, Config{MaxISets: 4})
+	if c.NumISets() == 0 || c.NumISets() > 4 {
+		t.Fatalf("isets = %d", c.NumISets())
+	}
+	for si, s := range c.isets {
+		for i := 1; i < len(s.intervals); i++ {
+			if s.intervals[i].lo <= s.intervals[i-1].hi {
+				t.Fatalf("iset %d: overlapping intervals at %d", si, i)
+			}
+		}
+	}
+	// Everything must be somewhere.
+	inISets := 0
+	for _, s := range c.isets {
+		inISets += len(s.intervals)
+	}
+	if inISets+c.RemainderSize() != len(entries) {
+		t.Errorf("%d in isets + %d remainder != %d rules", inISets, c.RemainderSize(), len(entries))
+	}
+}
+
+// FWPersonality avoids importing classbench constants twice in the test
+// body above.
+func FWPersonality() classbench.Personality { return classbench.FW }
+
+func TestEmptyAndTinyBuilds(t *testing.T) {
+	c := Build[int](nil, Config{})
+	if e, _ := c.Lookup(flow.Key{}); e != nil {
+		t.Error("empty classifier must miss")
+	}
+	one := Build([]*Entry[int]{prefixEntry(0x0a000000, 8, 1, 1)}, Config{})
+	if e, _ := one.Lookup(flow.Key{}.With(flow.FieldIPDst, 0x0a000001)); e == nil || e.Value != 1 {
+		t.Error("single-rule classifier broken")
+	}
+	if one.String() == "" {
+		t.Error("empty String()")
+	}
+}
+
+func TestConfiguredField(t *testing.T) {
+	entries := []*Entry[int]{
+		{Match: flow.MatchAll().WithField(flow.FieldTpDst, 80), Priority: 1, Value: 1},
+		{Match: flow.MatchAll().WithField(flow.FieldTpDst, 443), Priority: 1, Value: 2},
+	}
+	c := Build(entries, Config{Field: flow.FieldTpDst, FieldSet: true})
+	e, _ := c.Lookup(flow.Key{}.With(flow.FieldTpDst, 443))
+	if e == nil || e.Value != 2 {
+		t.Errorf("got %v", e)
+	}
+}
+
+func BenchmarkRMILookup(b *testing.B) {
+	rules := classbench.Generate(classbench.Config{Personality: classbench.ACL, Seed: 9, NumRules: 20000})
+	entries := make([]*Entry[int], len(rules))
+	for i, r := range rules {
+		entries[i] = &Entry[int]{Match: r.Match, Priority: r.Priority, Value: i}
+	}
+	c := Build(entries, Config{})
+	rng := rand.New(rand.NewSource(10))
+	keys := make([]flow.Key, 1024)
+	for i := range keys {
+		keys[i] = classbench.SampleKey(rules[rng.Intn(len(rules))], rng)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Lookup(keys[i%len(keys)])
+	}
+}

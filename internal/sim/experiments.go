@@ -1,0 +1,110 @@
+package sim
+
+import (
+	"fmt"
+
+	"gigaflow/internal/flow"
+	"gigaflow/internal/gigaflow"
+	"gigaflow/internal/megaflow"
+	"gigaflow/internal/pipebench"
+	"gigaflow/internal/traffic"
+)
+
+// BuildTrace generates a packet trace over a workload: numFlows flows with
+// the given locality, expanded with CAIDA-style sizes and gaps.
+func BuildTrace(w *pipebench.Workload, numFlows int, loc traffic.Locality, seed int64) []traffic.Packet {
+	tcfg := traffic.Config{Seed: seed, NumFlows: numFlows}
+	flows := w.Flows(tcfg, loc)
+	return traffic.Expand(tcfg, flows)
+}
+
+// ConfigLatency is one row of the §6.3.6 deployment-latency comparison.
+type ConfigLatency struct {
+	Name      string
+	LatencyNs int64
+}
+
+// LatencyTable returns the §6.3.6 per-configuration cache-hit latencies.
+// The offload rows are produced by the device model; the CPU rows are the
+// paper's measured constants for the corresponding OVS deployments.
+func LatencyTable(m CostModel) []ConfigLatency {
+	if m.CPUGHz == 0 {
+		m = DefaultCostModel()
+	}
+	return []ConfigLatency{
+		{Name: "OVS/Gigaflow-Offload (FPGA)", LatencyNs: m.HWHitNs},
+		{Name: "OVS/Megaflow-Offload (FPGA)", LatencyNs: m.HWHitNs},
+		{Name: "OVS/DPDK (host CPU)", LatencyNs: m.DPDKHostNs},
+		{Name: "OVS/DPDK (BlueField ARM)", LatencyNs: m.DPDKARMNs},
+		{Name: "OVS/Kernel (host)", LatencyNs: m.KernelHostNs},
+		{Name: "OVS/Kernel (BlueField ARM)", LatencyNs: m.KernelARMNs},
+	}
+}
+
+// RevalResult reports one cache's revalidation cost after a rule update
+// (§6.3.6: Gigaflow revalidates ~2× faster than Megaflow because
+// sub-traversals are shorter than full traversals and shared entries are
+// validated once).
+type RevalResult struct {
+	Label   string
+	Entries int
+	Evicted int
+	Work    int // pipeline table lookups replayed
+	TimeMs  float64
+}
+
+// RevalidationExperiment fills a Gigaflow (numTables×tableCap) and a
+// Megaflow (mfCap) cache with the workload's flows, perturbs the pipeline
+// (forcing every entry to be re-derived), and measures full-cache
+// revalidation cost under the model.
+func RevalidationExperiment(w *pipebench.Workload, numFlows int, numTables, tableCap, mfCap int, m CostModel) (gfRes, mfRes RevalResult, err error) {
+	if m.CPUGHz == 0 {
+		m = DefaultCostModel()
+	}
+	gf := gigaflow.New(w.Pipeline, gigaflow.Config{NumTables: numTables, TableCapacity: tableCap})
+	mf := megaflow.New(mfCap)
+	trace := BuildTrace(w, numFlows, traffic.HighLocality, 7)
+	for i := range trace {
+		pkt := &trace[i]
+		if r := gf.Lookup(pkt.Key, pkt.Time); !r.Hit {
+			tr, perr := w.Pipeline.Process(pkt.Key)
+			if perr != nil {
+				return gfRes, mfRes, perr
+			}
+			gf.Insert(tr, pkt.Time)
+			mf.Insert(tr, pkt.Time)
+		} else if _, ok := mf.Lookup(pkt.Key, pkt.Time); !ok {
+			tr, perr := w.Pipeline.Process(pkt.Key)
+			if perr != nil {
+				return gfRes, mfRes, perr
+			}
+			mf.Insert(tr, pkt.Time)
+		}
+	}
+
+	// Perturb the pipeline: any rule change bumps the version, forcing a
+	// full revalidation pass over both caches.
+	perturbPipeline(w)
+
+	gfEntries, mfEntries := gf.Len(), mf.Len()
+	gfEv, gfWork := gf.Revalidate()
+	mfEv, mfWork := mf.Revalidate(w.Pipeline)
+
+	toMs := func(work int) float64 {
+		return float64(m.CyclesToNs(int64(work)*m.CyclesPerRevalStep)) / 1e6
+	}
+	gfRes = RevalResult{Label: fmt.Sprintf("gigaflow(%dx%d)", numTables, tableCap),
+		Entries: gfEntries, Evicted: gfEv, Work: gfWork, TimeMs: toMs(gfWork)}
+	mfRes = RevalResult{Label: fmt.Sprintf("megaflow(%d)", mfCap),
+		Entries: mfEntries, Evicted: mfEv, Work: mfWork, TimeMs: toMs(mfWork)}
+	return gfRes, mfRes, nil
+}
+
+// perturbPipeline bumps the pipeline version with a benign rule so that
+// revalidation must re-derive every cached entry (the common case after a
+// controller pushes an update).
+func perturbPipeline(w *pipebench.Workload) {
+	first := w.Spec.Tables[0]
+	m := flow.MatchAll().WithField(flow.FieldInPort, 0xfffe)
+	w.Pipeline.MustAddRule(first.ID, m, 1, []flow.Action{flow.Drop()}, -1)
+}

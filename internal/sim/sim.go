@@ -1,0 +1,346 @@
+package sim
+
+import (
+	"fmt"
+
+	"gigaflow/internal/flow"
+	"gigaflow/internal/gigaflow"
+	"gigaflow/internal/megaflow"
+	"gigaflow/internal/pipebench"
+	"gigaflow/internal/stats"
+	"gigaflow/internal/traffic"
+)
+
+// CacheKind selects the hardware-cache architecture under test.
+type CacheKind uint8
+
+const (
+	// Megaflow is the single-table wildcard cache baseline.
+	Megaflow CacheKind = iota
+	// Gigaflow is the K-table LTM sub-traversal cache.
+	Gigaflow
+)
+
+// String names the kind.
+func (k CacheKind) String() string {
+	if k == Gigaflow {
+		return "gigaflow"
+	}
+	return "megaflow"
+}
+
+// SearchAlgo selects the software cache search algorithm (Fig. 17).
+type SearchAlgo uint8
+
+const (
+	// TSS is Tuple Space Search.
+	TSS SearchAlgo = iota
+	// NM is the NuevoMatch learned index.
+	NM
+)
+
+// String names the algorithm.
+func (s SearchAlgo) String() string {
+	if s == NM {
+		return "NM"
+	}
+	return "TSS"
+}
+
+// Config parameterises one simulation run.
+type Config struct {
+	Kind CacheKind
+
+	// Gigaflow shape (ignored for Megaflow).
+	NumTables     int
+	TableCapacity int
+	Scheme        gigaflow.Scheme
+	Seed          int64
+
+	// Megaflow capacity (ignored for Gigaflow).
+	MegaflowCapacity int
+
+	// Offloaded runs the cache on the SmartNIC (hits cost HWHitNs);
+	// otherwise the cache is CPU-resident and hits pay the software search
+	// cost of the selected algorithm (Fig. 17 mode).
+	Offloaded bool
+	Search    SearchAlgo
+
+	// MaxIdleNs enables idle expiry (0 disables); sweeps run every
+	// ExpireEveryNs (default 1 s).
+	MaxIdleNs     int64
+	ExpireEveryNs int64
+
+	// SampleEveryNs emits a hit-rate time series point per interval
+	// (0 disables) — Fig. 18.
+	SampleEveryNs int64
+
+	// Cores spreads slowpath work across CPU cores by flow RSS hash
+	// (default 1) — Fig. 19.
+	Cores int
+
+	// LineRateGbps caps the throughput model (default 100, the paper's
+	// prototype).
+	LineRateGbps float64
+
+	Model CostModel
+}
+
+func (c Config) withDefaults() Config {
+	if c.Model.CPUGHz == 0 {
+		c.Model = DefaultCostModel()
+	}
+	if c.Cores <= 0 {
+		c.Cores = 1
+	}
+	if c.MaxIdleNs > 0 && c.ExpireEveryNs <= 0 {
+		c.ExpireEveryNs = 1_000_000_000
+	}
+	if c.LineRateGbps <= 0 {
+		c.LineRateGbps = 100
+	}
+	if c.Kind == Gigaflow {
+		if c.NumTables <= 0 {
+			c.NumTables = 4
+		}
+		if c.TableCapacity <= 0 {
+			c.TableCapacity = 8192
+		}
+	} else if c.MegaflowCapacity <= 0 {
+		c.MegaflowCapacity = 32768
+	}
+	return c
+}
+
+// Label renders the configuration as the paper labels it, e.g.
+// "gigaflow(4x8192)/TSS".
+func (c Config) Label() string {
+	if c.Kind == Gigaflow {
+		return fmt.Sprintf("gigaflow(%dx%d)/%s", c.NumTables, c.TableCapacity, c.Search)
+	}
+	return fmt.Sprintf("megaflow(%d)/%s", c.MegaflowCapacity, c.Search)
+}
+
+// CoreLoad is one CPU core's slowpath share (Fig. 19).
+type CoreLoad struct {
+	Misses uint64
+	Cycles int64
+}
+
+// Result is the outcome of one run.
+type Result struct {
+	Config  Config
+	Packets uint64
+	Hits    uint64
+	Misses  uint64
+	// Stalls counts Gigaflow misses that matched a partial entry chain.
+	Stalls uint64
+	// Entries/Capacity describe final cache occupancy (Fig. 10).
+	Entries  int
+	Capacity int
+	// Coverage is the rule-space coverage at the end of the run (Table 2);
+	// for Megaflow it equals Entries.
+	Coverage uint64
+	// MeanSharing is the average number of traversals installed per cache
+	// entry (Fig. 11); 1.0 for Megaflow by construction.
+	MeanSharing float64
+	// InsertFailures counts traversals that could not be cached.
+	InsertFailures uint64
+	// Latency is the per-packet end-to-end latency distribution (Fig. 12).
+	Latency stats.Histogram
+	// Cycles decomposes slowpath CPU work (Fig. 13).
+	Cycles CycleBreakdown
+	// PerCore is the slowpath load per CPU core (Fig. 19).
+	PerCore []CoreLoad
+	// Series is the windowed hit-rate time series (Fig. 18).
+	Series stats.Series
+	// Throughput is the aggregate-forwarding model derived from the run.
+	Throughput Throughput
+}
+
+// HitRate returns Hits/Packets.
+func (r *Result) HitRate() float64 {
+	if r.Packets == 0 {
+		return 0
+	}
+	return float64(r.Hits) / float64(r.Packets)
+}
+
+// Run drives the trace through a fresh cache of the configured kind backed
+// by the workload's pipeline slowpath.
+func Run(w *pipebench.Workload, trace []traffic.Packet, cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	if len(trace) == 0 {
+		return nil, fmt.Errorf("sim: empty trace")
+	}
+	res := &Result{Config: cfg, Capacity: cfg.MegaflowCapacity, PerCore: make([]CoreLoad, cfg.Cores)}
+	res.Series.Name = cfg.Label()
+
+	var gf *gigaflow.Cache
+	var mf *megaflow.Cache
+	var nm *nmIndex
+	if cfg.Kind == Gigaflow {
+		gf = gigaflow.New(w.Pipeline, gigaflow.Config{
+			NumTables:     cfg.NumTables,
+			TableCapacity: cfg.TableCapacity,
+			Scheme:        cfg.Scheme,
+			Seed:          cfg.Seed,
+		})
+		res.Capacity = gf.Capacity()
+	} else {
+		mf = megaflow.New(cfg.MegaflowCapacity)
+		if cfg.Search == NM {
+			nm = newNMIndex(0)
+		}
+	}
+
+	m := cfg.Model
+	var lastExpire, lastSample int64
+	var windowHits, windowTotal uint64
+	var prevGFProbes, prevMFProbes, prevGFTables uint64
+	var totalBytes uint64
+
+	for i := range trace {
+		pkt := &trace[i]
+		now := pkt.Time
+		totalBytes += uint64(pkt.Size)
+
+		if cfg.MaxIdleNs > 0 && now-lastExpire >= cfg.ExpireEveryNs {
+			lastExpire = now
+			if gf != nil {
+				gf.ExpireIdle(now, cfg.MaxIdleNs)
+			} else {
+				mf.ExpireIdle(now, cfg.MaxIdleNs)
+			}
+		}
+
+		// Cache lookup.
+		var hit bool
+		var swCycles int64 // CPU cycles spent searching in software mode
+		if gf != nil {
+			r := gf.Lookup(pkt.Key, now)
+			hit = r.Hit
+			st := gf.Stats()
+			tssProbes := int64(st.TupleProbes - prevGFProbes)
+			tables := int64(st.TablesProbed - prevGFTables)
+			prevGFProbes, prevGFTables = st.TupleProbes, st.TablesProbed
+			swCycles = tssProbes * m.CyclesPerTupleProbe
+			if cfg.Search == NM {
+				// NM replaces each LTM table's scan with model work;
+				// tables with fewer live tuples than that stay on TSS.
+				if nmCycles := tables * gfNMCostPerTable * m.CyclesPerNMUnit; nmCycles < swCycles {
+					swCycles = nmCycles
+				}
+			}
+		} else {
+			_, ok := mf.Lookup(pkt.Key, now)
+			hit = ok
+			tssProbes := int64(mf.TupleProbes() - prevMFProbes)
+			prevMFProbes = mf.TupleProbes()
+			swCycles = tssProbes * m.CyclesPerTupleProbe
+			if cfg.Search == NM {
+				// NuevoMatch is a hybrid: rules live in learned iSets
+				// only where that beats scanning them in the TSS
+				// remainder, so its cost never exceeds plain TSS.
+				rmiUnits, deltaProbes := nm.lookupCost(pkt.Key)
+				if nmCycles := rmiUnits*m.CyclesPerNMUnit + deltaProbes*m.CyclesPerTupleProbe; nmCycles < swCycles {
+					swCycles = nmCycles
+				}
+			}
+		}
+
+		res.Packets++
+		var latency int64
+		if cfg.Offloaded {
+			latency = m.HWHitNs
+		} else {
+			latency = m.SwCacheBaseNs + m.CyclesToNs(swCycles)
+		}
+
+		if hit {
+			res.Hits++
+			windowHits++
+		} else {
+			res.Misses++
+			// Slowpath: full pipeline traversal, cache-rule generation,
+			// installation. Charged to the flow's RSS core.
+			core := int(rssHash(pkt.Key) % uint64(cfg.Cores))
+			tr, err := w.Pipeline.Process(pkt.Key)
+			if err != nil {
+				return nil, fmt.Errorf("sim: slowpath: %v", err)
+			}
+			var br CycleBreakdown
+			br.Pipeline = int64(tr.TuplesProbed)*m.CyclesPerTupleProbe + int64(tr.Len())*m.CyclesPerTableVisit
+			if gf != nil {
+				n := int64(tr.Len())
+				br.Partition = n * n * int64(cfg.NumTables) * m.CyclesPerDPCell
+				entries, err := gf.Insert(tr, now)
+				if err != nil {
+					res.InsertFailures++
+				} else {
+					br.RuleGen = int64(len(entries)) * m.CyclesPerRuleGen
+				}
+			} else {
+				br.RuleGen = m.CyclesPerRuleGen
+				if e := mf.Insert(tr, now); e == nil {
+					res.InsertFailures++
+				} else if nm != nil {
+					nm.noteInsert(e, mf)
+				}
+			}
+			res.Cycles.Add(br)
+			res.PerCore[core].Misses++
+			res.PerCore[core].Cycles += br.Total()
+			if cfg.Offloaded {
+				latency += m.PuntNs + m.SlowBaseNs + m.CyclesToNs(br.Total())
+			} else {
+				latency += m.SlowBaseNs + m.CyclesToNs(br.Total())
+			}
+		}
+		res.Latency.Add(float64(latency))
+
+		windowTotal++
+		if cfg.SampleEveryNs > 0 && now-lastSample >= cfg.SampleEveryNs {
+			if windowTotal > 0 {
+				res.Series.Add(float64(now)/1e9, float64(windowHits)/float64(windowTotal))
+			}
+			windowHits, windowTotal = 0, 0
+			lastSample = now
+		}
+	}
+
+	if gf != nil {
+		st := gf.Stats()
+		res.Stalls = st.Stalls
+		res.Entries = gf.Len()
+		res.Coverage = gf.Coverage()
+		if n := gf.Len(); n > 0 {
+			var installs uint64
+			for _, e := range gf.AllEntries() {
+				installs += e.Installs
+			}
+			res.MeanSharing = float64(installs) / float64(n)
+		}
+	} else {
+		res.Entries = mf.Len()
+		res.Coverage = uint64(mf.Len())
+		res.MeanSharing = 1
+	}
+	res.Throughput = computeThroughput(res, totalBytes, cfg.LineRateGbps, m)
+	return res, nil
+}
+
+// rssHash mimics NIC RSS: a hash over the 5-tuple spreading flows across
+// cores (FNV-1a over the tuple lanes).
+func rssHash(k flow.Key) uint64 {
+	h := uint64(14695981039346656037)
+	for _, f := range []flow.FieldID{flow.FieldIPSrc, flow.FieldIPDst, flow.FieldIPProto, flow.FieldTpSrc, flow.FieldTpDst} {
+		v := k.Get(f)
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= 1099511628211
+			v >>= 8
+		}
+	}
+	return h
+}

@@ -1,0 +1,240 @@
+// Package stats provides the small measurement toolkit shared by the
+// simulator, the benchmark harness, and the example programs: streaming
+// summaries, log-scaled latency histograms, time series, and aligned
+// plain-text table rendering for experiment reports.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary accumulates a stream of float64 observations with O(1) memory
+// (Welford's algorithm for mean/variance).
+type Summary struct {
+	n        uint64
+	mean, m2 float64
+	min, max float64
+}
+
+// Add records one observation.
+func (s *Summary) Add(x float64) {
+	s.n++
+	if s.n == 1 {
+		s.min, s.max = x, x
+	} else {
+		if x < s.min {
+			s.min = x
+		}
+		if x > s.max {
+			s.max = x
+		}
+	}
+	d := x - s.mean
+	s.mean += d / float64(s.n)
+	s.m2 += d * (x - s.mean)
+}
+
+// N reports the number of observations.
+func (s *Summary) N() uint64 { return s.n }
+
+// Mean reports the running mean (0 when empty).
+func (s *Summary) Mean() float64 { return s.mean }
+
+// Var reports the sample variance (0 for fewer than two observations).
+func (s *Summary) Var() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return s.m2 / float64(s.n-1)
+}
+
+// Std reports the sample standard deviation.
+func (s *Summary) Std() float64 { return math.Sqrt(s.Var()) }
+
+// Min reports the smallest observation (0 when empty).
+func (s *Summary) Min() float64 { return s.min }
+
+// Max reports the largest observation (0 when empty).
+func (s *Summary) Max() float64 { return s.max }
+
+// String renders "mean ± std (n=...)".
+func (s *Summary) String() string {
+	return fmt.Sprintf("%.3g ± %.2g (n=%d)", s.Mean(), s.Std(), s.n)
+}
+
+// Histogram is a log2-bucketed histogram of non-negative values (e.g.
+// latencies in nanoseconds). Bucket i covers [2^i, 2^(i+1)); values < 1 go
+// to bucket 0.
+type Histogram struct {
+	buckets [64]uint64
+	sum     Summary
+}
+
+// Add records one observation.
+func (h *Histogram) Add(x float64) {
+	h.sum.Add(x)
+	i := 0
+	if x >= 1 {
+		i = int(math.Log2(x))
+		if i > 63 {
+			i = 63
+		}
+	}
+	h.buckets[i]++
+}
+
+// N reports the number of observations.
+func (h *Histogram) N() uint64 { return h.sum.N() }
+
+// Mean reports the mean observation.
+func (h *Histogram) Mean() float64 { return h.sum.Mean() }
+
+// Std reports the standard deviation.
+func (h *Histogram) Std() float64 { return h.sum.Std() }
+
+// Max reports the largest observation.
+func (h *Histogram) Max() float64 { return h.sum.Max() }
+
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) from the buckets, using
+// the geometric midpoint of the matching bucket.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.sum.N() == 0 {
+		return 0
+	}
+	target := q * float64(h.sum.N())
+	var seen float64
+	for i, c := range h.buckets {
+		seen += float64(c)
+		if seen >= target && c > 0 {
+			lo := math.Exp2(float64(i))
+			if i == 0 {
+				lo = 0
+			}
+			hi := math.Exp2(float64(i + 1))
+			return (lo + hi) / 2
+		}
+	}
+	return h.sum.Max()
+}
+
+// Point is one (time, value) sample of a time series; T is virtual
+// simulation time in seconds.
+type Point struct {
+	T float64
+	V float64
+}
+
+// Series is an append-only time series (e.g. hit rate over simulated
+// time for Fig. 18).
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Add appends a sample.
+func (s *Series) Add(t, v float64) { s.Points = append(s.Points, Point{T: t, V: v}) }
+
+// Table renders aligned plain-text tables for experiment reports.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// AddRow appends a row; cells are formatted with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = formatFloat(v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+func formatFloat(v float64) string {
+	switch {
+	case v == math.Trunc(v) && math.Abs(v) < 1e15:
+		return fmt.Sprintf("%.0f", v)
+	case math.Abs(v) >= 1000:
+		return fmt.Sprintf("%.0f", v)
+	case math.Abs(v) >= 1:
+		return fmt.Sprintf("%.2f", v)
+	default:
+		return fmt.Sprintf("%.4f", v)
+	}
+}
+
+// Render produces the aligned table as a string.
+func (t *Table) Render() string {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	out := ""
+	if t.Title != "" {
+		out += t.Title + "\n"
+	}
+	line := ""
+	for i, h := range t.Headers {
+		line += pad(h, widths[i]) + "  "
+	}
+	out += line + "\n"
+	sep := ""
+	for _, w := range widths {
+		for i := 0; i < w; i++ {
+			sep += "-"
+		}
+		sep += "  "
+	}
+	out += sep + "\n"
+	for _, row := range t.Rows {
+		line = ""
+		for i, c := range row {
+			w := 0
+			if i < len(widths) {
+				w = widths[i]
+			}
+			line += pad(c, w) + "  "
+		}
+		out += line + "\n"
+	}
+	return out
+}
+
+func pad(s string, w int) string {
+	for len(s) < w {
+		s += " "
+	}
+	return s
+}
+
+// Ratio formats a/b as a percentage string, guarding division by zero.
+func Ratio(a, b float64) string {
+	if b == 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.1f%%", 100*a/b)
+}
+
+// SortedKeys returns map keys in sorted order, for deterministic reports.
+func SortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,143 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummaryBasics(t *testing.T) {
+	var s Summary
+	if s.Mean() != 0 || s.Std() != 0 || s.N() != 0 {
+		t.Error("empty summary not zero")
+	}
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(x)
+	}
+	if s.N() != 8 {
+		t.Errorf("N = %d", s.N())
+	}
+	if math.Abs(s.Mean()-5) > 1e-12 {
+		t.Errorf("mean = %v", s.Mean())
+	}
+	// Sample variance of this classic set is 32/7.
+	if math.Abs(s.Var()-32.0/7) > 1e-12 {
+		t.Errorf("var = %v", s.Var())
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Errorf("min/max = %v/%v", s.Min(), s.Max())
+	}
+	if !strings.Contains(s.String(), "n=8") {
+		t.Errorf("String = %q", s.String())
+	}
+}
+
+func TestSummaryMatchesNaive(t *testing.T) {
+	prop := func(xs []float64) bool {
+		var s Summary
+		var sum float64
+		count := 0
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e9 {
+				continue
+			}
+			s.Add(x)
+			sum += x
+			count++
+		}
+		if count == 0 {
+			return s.N() == 0
+		}
+		naive := sum / float64(count)
+		return math.Abs(s.Mean()-naive) < 1e-6*(1+math.Abs(naive))
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	for i := 1; i <= 1000; i++ {
+		h.Add(float64(i))
+	}
+	if h.N() != 1000 {
+		t.Errorf("N = %d", h.N())
+	}
+	if math.Abs(h.Mean()-500.5) > 1e-9 {
+		t.Errorf("mean = %v", h.Mean())
+	}
+	p50 := h.Quantile(0.5)
+	if p50 < 256 || p50 > 1024 {
+		t.Errorf("p50 = %v, expected within the 512-ish bucket", p50)
+	}
+	p99 := h.Quantile(0.99)
+	if p99 < p50 {
+		t.Errorf("p99 %v < p50 %v", p99, p50)
+	}
+	if h.Max() != 1000 {
+		t.Errorf("max = %v", h.Max())
+	}
+}
+
+func TestHistogramEdge(t *testing.T) {
+	var h Histogram
+	if h.Quantile(0.5) != 0 {
+		t.Error("empty histogram quantile must be 0")
+	}
+	h.Add(0)
+	h.Add(0.5)
+	if h.N() != 2 {
+		t.Error("sub-1 values must land in bucket 0")
+	}
+	if q := h.Quantile(0.5); q < 0 || q > 1 {
+		t.Errorf("q = %v", q)
+	}
+	h.Add(math.MaxFloat64) // clamps to last bucket, must not panic
+}
+
+func TestSeries(t *testing.T) {
+	var s Series
+	s.Name = "hit-rate"
+	s.Add(0, 0.5)
+	s.Add(1, 0.75)
+	if len(s.Points) != 2 || s.Points[1].V != 0.75 {
+		t.Errorf("points = %v", s.Points)
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tb := Table{Title: "Fig X", Headers: []string{"pipeline", "hit%"}}
+	tb.AddRow("OLS", 93.26)
+	tb.AddRow("PSC", 61.0)
+	tb.AddRow("big", 1234567.0)
+	tb.AddRow("tiny", 0.001)
+	out := tb.Render()
+	for _, want := range []string{"Fig X", "pipeline", "OLS", "93.26", "1234567", "0.0010"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 7 { // title, header, separator, 4 rows
+		t.Errorf("rendered %d lines", len(lines))
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if Ratio(1, 2) != "50.0%" {
+		t.Errorf("got %q", Ratio(1, 2))
+	}
+	if Ratio(1, 0) != "n/a" {
+		t.Errorf("got %q", Ratio(1, 0))
+	}
+}
+
+func TestSortedKeys(t *testing.T) {
+	m := map[string]int{"b": 1, "a": 2, "c": 3}
+	got := SortedKeys(m)
+	if len(got) != 3 || got[0] != "a" || got[2] != "c" {
+		t.Errorf("got %v", got)
+	}
+}

@@ -1,0 +1,175 @@
+package traffic
+
+import (
+	"math/rand"
+	"testing"
+
+	"gigaflow/internal/flow"
+)
+
+func sampleByRule(ruleIdx int, rng *rand.Rand) flow.Key {
+	return flow.Key{}.
+		With(flow.FieldIPDst, uint64(ruleIdx)<<16|uint64(rng.Intn(1<<16))).
+		With(flow.FieldTpDst, uint64(ruleIdx%100))
+}
+
+func TestGenerateFlowsCountAndUniqueness(t *testing.T) {
+	cfg := Config{Seed: 1, NumFlows: 5000}
+	flows := GenerateFlows(cfg, UniformPicker(50), sampleByRule)
+	if len(flows) != 5000 {
+		t.Fatalf("got %d flows", len(flows))
+	}
+	seen := map[flow.Key]bool{}
+	for _, f := range flows {
+		if seen[f.Key] {
+			t.Fatal("duplicate flow key")
+		}
+		seen[f.Key] = true
+		if f.Packets < 1 {
+			t.Fatal("flow with no packets")
+		}
+		if f.Start < 0 || f.Start >= 60_000_000_000 {
+			t.Fatalf("start %d outside default spread", f.Start)
+		}
+	}
+}
+
+func TestGenerateFlowsDeterministic(t *testing.T) {
+	cfg := Config{Seed: 42, NumFlows: 1000}
+	a := GenerateFlows(cfg, UniformPicker(20), sampleByRule)
+	b := GenerateFlows(cfg, UniformPicker(20), sampleByRule)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("flow %d differs", i)
+		}
+	}
+}
+
+func TestPickerRespectsWeights(t *testing.T) {
+	p := NewPicker([]float64{1, 0, 9})
+	rng := rand.New(rand.NewSource(3))
+	counts := [3]int{}
+	for i := 0; i < 10000; i++ {
+		counts[p.Pick(rng)]++
+	}
+	if counts[1] != 0 {
+		t.Errorf("zero-weight index picked %d times", counts[1])
+	}
+	ratio := float64(counts[2]) / float64(counts[0])
+	if ratio < 7 || ratio > 12 {
+		t.Errorf("9:1 weights produced ratio %.2f", ratio)
+	}
+}
+
+func TestPickerPanicsOnNoWeight(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewPicker([]float64{0, -1})
+}
+
+func TestParetoHeavyTail(t *testing.T) {
+	cfg := Config{Seed: 7, NumFlows: 20000}
+	flows := GenerateFlows(cfg, UniformPicker(1000), sampleByRule)
+	ones, big := 0, 0
+	total := 0
+	for _, f := range flows {
+		total += f.Packets
+		if f.Packets == 1 {
+			ones++
+		}
+		if f.Packets >= 100 {
+			big++
+		}
+	}
+	// Pareto(1.3): ~50%+ singletons, a small but non-empty elephant tail.
+	if float64(ones)/float64(len(flows)) < 0.3 {
+		t.Errorf("only %d/%d single-packet flows", ones, len(flows))
+	}
+	if big == 0 {
+		t.Error("no elephant flows at all")
+	}
+	mean := float64(total) / float64(len(flows))
+	if mean < 1.5 || mean > 20 {
+		t.Errorf("mean packets per flow = %.2f, implausible", mean)
+	}
+}
+
+func TestExpandSortedAndComplete(t *testing.T) {
+	cfg := Config{Seed: 9, NumFlows: 500}
+	flows := GenerateFlows(cfg, UniformPicker(50), sampleByRule)
+	pkts := Expand(cfg, flows)
+	want := 0
+	for _, f := range flows {
+		want += f.Packets
+	}
+	if len(pkts) != want {
+		t.Fatalf("expanded %d packets, want %d", len(pkts), want)
+	}
+	for i := 1; i < len(pkts); i++ {
+		if pkts[i].Time < pkts[i-1].Time {
+			t.Fatal("trace not time-sorted")
+		}
+	}
+	for _, p := range pkts {
+		if p.Size < 64 || p.Size > 1500 {
+			t.Fatalf("packet size %d", p.Size)
+		}
+	}
+	// Per-flow packet times must be strictly increasing.
+	last := map[int]int64{}
+	for _, p := range pkts {
+		if prev, ok := last[p.FlowID]; ok && p.Time <= prev {
+			t.Fatal("intra-flow times not increasing")
+		}
+		last[p.FlowID] = p.Time
+	}
+}
+
+func TestShiftStarts(t *testing.T) {
+	cfg := Config{Seed: 1, NumFlows: 100}
+	flows := GenerateFlows(cfg, UniformPicker(10), sampleByRule)
+	shifted := ShiftStarts(flows, 1000)
+	for i := range flows {
+		if shifted[i].Start != flows[i].Start+1000 {
+			t.Fatal("shift wrong")
+		}
+	}
+	// Original untouched.
+	if flows[0].Start == shifted[0].Start {
+		t.Fatal("ShiftStarts mutated input")
+	}
+}
+
+func TestMergeTraces(t *testing.T) {
+	cfg := Config{Seed: 2, NumFlows: 200}
+	f1 := GenerateFlows(cfg, UniformPicker(10), sampleByRule)
+	cfg2 := Config{Seed: 3, NumFlows: 300}
+	f2 := GenerateFlows(cfg2, UniformPicker(10), sampleByRule)
+	t1, t2 := Expand(cfg, f1), Expand(cfg2, f2)
+	merged := Merge(t1, t2)
+	if len(merged) != len(t1)+len(t2) {
+		t.Fatalf("merged %d, want %d", len(merged), len(t1)+len(t2))
+	}
+	for i := 1; i < len(merged); i++ {
+		if merged[i].Time < merged[i-1].Time {
+			t.Fatal("merged trace not sorted")
+		}
+	}
+	// Flow IDs from different traces must not collide.
+	ids := map[int]flow.Key{}
+	for _, p := range merged {
+		if k, ok := ids[p.FlowID]; ok && k != p.Key {
+			t.Fatal("flow ID collision across traces")
+		}
+		ids[p.FlowID] = p.Key
+	}
+}
+
+func TestLocalityString(t *testing.T) {
+	if HighLocality.String() != "high" || LowLocality.String() != "low" {
+		t.Error("locality names")
+	}
+}

@@ -1,0 +1,345 @@
+// Package tss implements the Tuple Space Search packet classifier
+// (Srinivasan, Suri, Varghese; SIGCOMM '99) as used by Open vSwitch for
+// both OpenFlow tables and the Megaflow cache.
+//
+// Rules are grouped into "tuples" by identical wildcard mask; each tuple is
+// a hash table keyed by the masked flow key. A lookup probes tuples in
+// decreasing order of their maximum rule priority and stops as soon as the
+// best match found so far outranks every remaining tuple — the same
+// staged-lookup optimisation OVS applies. The per-lookup cost is O(M) hash
+// probes in the worst case, M being the number of distinct masks; the
+// classifier reports probe counts so the simulator can charge CPU cycles
+// accordingly.
+package tss
+
+import (
+	"fmt"
+	"sort"
+
+	"gigaflow/internal/flow"
+)
+
+// Entry is one classifier rule: a ternary match with a priority and an
+// opaque payload.
+type Entry[T any] struct {
+	Match    flow.Match
+	Priority int
+	Value    T
+}
+
+// tuple is the set of rules sharing one mask, hashed by masked key.
+type tuple[T any] struct {
+	mask    flow.Mask
+	entries map[flow.Key][]*Entry[T] // per masked key, sorted by priority desc
+	count   int
+	maxPrio int
+}
+
+// Classifier is a tuple-space-search classifier. The zero value is not
+// usable; construct with New.
+type Classifier[T any] struct {
+	tuples map[flow.Mask]*tuple[T]
+	// order caches tuples sorted by maxPrio descending; rebuilt lazily.
+	order []*tuple[T]
+	dirty bool
+	count int
+
+	// Probes counts cumulative tuple hash probes across all lookups, and
+	// Lookups the number of Lookup calls; both feed the CPU cost model.
+	Probes  uint64
+	Lookups uint64
+}
+
+// New returns an empty classifier.
+func New[T any]() *Classifier[T] {
+	return &Classifier[T]{tuples: make(map[flow.Mask]*tuple[T])}
+}
+
+// Len reports the number of rules in the classifier.
+func (c *Classifier[T]) Len() int { return c.count }
+
+// NumTuples reports the number of distinct masks (tuples).
+func (c *Classifier[T]) NumTuples() int { return len(c.tuples) }
+
+// Insert adds an entry. If an entry with an identical match predicate and
+// priority already exists, it is replaced and Insert reports true.
+func (c *Classifier[T]) Insert(e *Entry[T]) (replaced bool) {
+	e.Match = e.Match.Normalize()
+	tp := c.tuples[e.Match.Mask]
+	if tp == nil {
+		tp = &tuple[T]{mask: e.Match.Mask, entries: make(map[flow.Key][]*Entry[T])}
+		c.tuples[e.Match.Mask] = tp
+		c.dirty = true
+	}
+	bucket := tp.entries[e.Match.Key]
+	for i, old := range bucket {
+		if old.Priority == e.Priority {
+			bucket[i] = e
+			return true
+		}
+	}
+	// Insert keeping the bucket sorted by priority descending.
+	pos := sort.Search(len(bucket), func(i int) bool { return bucket[i].Priority < e.Priority })
+	bucket = append(bucket, nil)
+	copy(bucket[pos+1:], bucket[pos:])
+	bucket[pos] = e
+	tp.entries[e.Match.Key] = bucket
+	tp.count++
+	c.count++
+	if e.Priority > tp.maxPrio || tp.count == 1 {
+		tp.maxPrio = e.Priority
+		c.dirty = true
+	}
+	return false
+}
+
+// Delete removes the entry with the given match and priority, reporting
+// whether one was found.
+func (c *Classifier[T]) Delete(m flow.Match, priority int) bool {
+	m = m.Normalize()
+	tp := c.tuples[m.Mask]
+	if tp == nil {
+		return false
+	}
+	bucket := tp.entries[m.Key]
+	for i, e := range bucket {
+		if e.Priority == priority {
+			bucket = append(bucket[:i], bucket[i+1:]...)
+			if len(bucket) == 0 {
+				delete(tp.entries, m.Key)
+			} else {
+				tp.entries[m.Key] = bucket
+			}
+			tp.count--
+			c.count--
+			if tp.count == 0 {
+				delete(c.tuples, m.Mask)
+				c.dirty = true
+			}
+			// tp.maxPrio is left as an upper bound: recomputing it on
+			// every delete is O(tuple size) and caches with uniform
+			// priorities (e.g. megaflow, where every entry has priority
+			// 0) delete constantly under LRU churn. A stale-high maxPrio
+			// only makes the staged lookup probe a tuple it could have
+			// skipped — sound, marginally less aggressive.
+			return true
+		}
+	}
+	return false
+}
+
+// rebuildOrder refreshes the priority-descending tuple ordering.
+func (c *Classifier[T]) rebuildOrder() {
+	c.order = c.order[:0]
+	for _, tp := range c.tuples {
+		c.order = append(c.order, tp)
+	}
+	sort.Slice(c.order, func(i, j int) bool {
+		if c.order[i].maxPrio != c.order[j].maxPrio {
+			return c.order[i].maxPrio > c.order[j].maxPrio
+		}
+		// Deterministic tie-break on mask bits for reproducible probe counts.
+		return maskLess(c.order[i].mask, c.order[j].mask)
+	})
+	c.dirty = false
+}
+
+func maskLess(a, b flow.Mask) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}
+
+// Lookup returns the highest-priority entry matching k, along with the
+// number of tuples probed. Returns nil when nothing matches.
+func (c *Classifier[T]) Lookup(k flow.Key) (*Entry[T], int) {
+	if c.dirty {
+		c.rebuildOrder()
+	}
+	c.Lookups++
+	var best *Entry[T]
+	probes := 0
+	for _, tp := range c.order {
+		if best != nil && best.Priority >= tp.maxPrio {
+			break // staged lookup: no remaining tuple can win
+		}
+		probes++
+		if bucket, ok := tp.entries[k.Apply(tp.mask)]; ok && len(bucket) > 0 {
+			if e := bucket[0]; best == nil || e.Priority > best.Priority {
+				best = e
+			}
+		}
+	}
+	c.Probes += uint64(probes)
+	return best, probes
+}
+
+// LookupWild is Lookup plus megaflow-style wildcard tracking: it returns
+// the union of the masks of every tuple probed. Any packet equal to k on
+// the returned mask's bits is guaranteed to classify to the same entry
+// (OVS's rule: each tuple the search visits contributes its whole mask to
+// the unwildcarded set, which also subsumes the per-rule dependency bits of
+// §4.2.3 since every higher-priority rule lives in a visited tuple).
+func (c *Classifier[T]) LookupWild(k flow.Key) (*Entry[T], flow.Mask, int) {
+	if c.dirty {
+		c.rebuildOrder()
+	}
+	c.Lookups++
+	var best *Entry[T]
+	var wild flow.Mask
+	probes := 0
+	for _, tp := range c.order {
+		if best != nil && best.Priority >= tp.maxPrio {
+			break
+		}
+		probes++
+		wild = wild.Union(tp.mask)
+		if bucket, ok := tp.entries[k.Apply(tp.mask)]; ok && len(bucket) > 0 {
+			if e := bucket[0]; best == nil || e.Priority > best.Priority {
+				best = e
+			}
+		}
+	}
+	c.Probes += uint64(probes)
+	return best, wild, probes
+}
+
+// LookupWildPrecise is LookupWild with minimal-bit dependency
+// unwildcarding — the strategy of the paper's §4.2.3 example, where a
+// packet matching a /16 route under /24 and /32 shadows gets wildcard
+// 255.255.240.0 rather than a full /32. Instead of charging every probed
+// tuple's whole mask, it adds (a) the matched entry's mask and (b) for
+// every rule that outranks the match but did not fire, one distinguishing
+// bit on which the key provably differs from that rule.
+//
+// The result is a strictly wider (never narrower) wildcard than
+// LookupWild's, with the same guarantee: any key equal to k on the
+// returned mask's bits classifies identically. The price is O(entries in
+// outranking tuples) per lookup instead of O(tuples) — OVS chose the
+// cheap variant; this one exists to model classifiers that spend the
+// effort (and for the mask-diversity ablation).
+func (c *Classifier[T]) LookupWildPrecise(k flow.Key) (*Entry[T], flow.Mask, int) {
+	if c.dirty {
+		c.rebuildOrder()
+	}
+	c.Lookups++
+	// Pass 1: find the winning entry and the tuples that were probed.
+	var best *Entry[T]
+	probes := 0
+	var probed []*tuple[T]
+	for _, tp := range c.order {
+		if best != nil && best.Priority >= tp.maxPrio {
+			break
+		}
+		probes++
+		probed = append(probed, tp)
+		if bucket, ok := tp.entries[k.Apply(tp.mask)]; ok && len(bucket) > 0 {
+			if e := bucket[0]; best == nil || e.Priority > best.Priority {
+				best = e
+			}
+		}
+	}
+	c.Probes += uint64(probes)
+
+	var wild flow.Mask
+	bestPrio := -1 << 62
+	if best != nil {
+		wild = wild.Union(best.Match.Mask)
+		bestPrio = best.Priority
+	}
+	// Pass 2: one distinguishing bit against every rule that ranks at or
+	// above the match and did not fire for k. Equal-priority rules must be
+	// excluded too: Lookup resolves equal-priority ties by tuple order, so
+	// a covered key newly matching one could steal the tie. (Rules sharing
+	// the winner's exact predicate differ only in priority and cannot be
+	// distinguished — nor need they be, since bucket order resolves them
+	// identically for every covered key.)
+	for _, tp := range probed {
+		if tp.maxPrio < bestPrio {
+			continue
+		}
+		for _, bucket := range tp.entries {
+			for _, e := range bucket {
+				if e.Priority < bestPrio {
+					break // buckets are sorted by priority descending
+				}
+				if e == best {
+					continue
+				}
+				if diffBit, ok := distinguishingBit(k, e.Match); ok {
+					wild[diffBit.field] |= diffBit.mask
+				}
+			}
+		}
+	}
+	return best, wild, probes
+}
+
+// bitRef names one bit of one field.
+type bitRef struct {
+	field flow.FieldID
+	mask  uint64
+}
+
+// distinguishingBit returns a significant bit of m on which k disagrees
+// with m's key. It exists whenever k does not match m.
+func distinguishingBit(k flow.Key, m flow.Match) (bitRef, bool) {
+	for f := flow.FieldID(0); f < flow.NumFields; f++ {
+		if diff := (k[f] ^ m.Key[f]) & m.Mask[f]; diff != 0 {
+			return bitRef{field: f, mask: diff & -diff}, true
+		}
+	}
+	return bitRef{}, false
+}
+
+// Get returns the entry with exactly the given match and priority, if any.
+func (c *Classifier[T]) Get(m flow.Match, priority int) (*Entry[T], bool) {
+	m = m.Normalize()
+	tp := c.tuples[m.Mask]
+	if tp == nil {
+		return nil, false
+	}
+	for _, e := range tp.entries[m.Key] {
+		if e.Priority == priority {
+			return e, true
+		}
+	}
+	return nil, false
+}
+
+// Range calls fn for every entry until fn returns false. Iteration order is
+// unspecified. The classifier must not be mutated during Range.
+func (c *Classifier[T]) Range(fn func(*Entry[T]) bool) {
+	for _, tp := range c.tuples {
+		for _, bucket := range tp.entries {
+			for _, e := range bucket {
+				if !fn(e) {
+					return
+				}
+			}
+		}
+	}
+}
+
+// Entries returns all entries in an unspecified order.
+func (c *Classifier[T]) Entries() []*Entry[T] {
+	out := make([]*Entry[T], 0, c.count)
+	c.Range(func(e *Entry[T]) bool { out = append(out, e); return true })
+	return out
+}
+
+// Clear removes all entries but keeps accumulated lookup statistics.
+func (c *Classifier[T]) Clear() {
+	c.tuples = make(map[flow.Mask]*tuple[T])
+	c.order = nil
+	c.dirty = false
+	c.count = 0
+}
+
+// String summarises the classifier shape.
+func (c *Classifier[T]) String() string {
+	return fmt.Sprintf("tss(%d rules, %d tuples)", c.count, len(c.tuples))
+}

@@ -1,0 +1,293 @@
+package tss
+
+import (
+	"math/rand"
+	"testing"
+
+	"gigaflow/internal/flow"
+)
+
+func entry(match string, prio, val int) *Entry[int] {
+	return &Entry[int]{Match: flow.MustParseMatch(match), Priority: prio, Value: val}
+}
+
+func TestLookupPicksHighestPriority(t *testing.T) {
+	c := New[int]()
+	c.Insert(entry("ip_dst=10.0.0.0/8", 100, 1))
+	c.Insert(entry("ip_dst=10.1.0.0/16", 200, 2))
+	c.Insert(entry("ip_dst=10.1.2.0/24", 300, 3))
+
+	e, _ := c.Lookup(flow.MustParseKey("ip_dst=10.1.2.3"))
+	if e == nil || e.Value != 3 {
+		t.Fatalf("got %v, want value 3", e)
+	}
+	e, _ = c.Lookup(flow.MustParseKey("ip_dst=10.1.9.9"))
+	if e == nil || e.Value != 2 {
+		t.Fatalf("got %v, want value 2", e)
+	}
+	e, _ = c.Lookup(flow.MustParseKey("ip_dst=10.9.9.9"))
+	if e == nil || e.Value != 1 {
+		t.Fatalf("got %v, want value 1", e)
+	}
+	e, _ = c.Lookup(flow.MustParseKey("ip_dst=11.0.0.1"))
+	if e != nil {
+		t.Fatalf("expected miss, got %v", e)
+	}
+}
+
+func TestInsertReplaceSamePredicateAndPriority(t *testing.T) {
+	c := New[int]()
+	if replaced := c.Insert(entry("tp_dst=80", 5, 1)); replaced {
+		t.Error("first insert reported replace")
+	}
+	if replaced := c.Insert(entry("tp_dst=80", 5, 2)); !replaced {
+		t.Error("identical predicate+priority should replace")
+	}
+	if c.Len() != 1 {
+		t.Errorf("Len = %d, want 1", c.Len())
+	}
+	e, _ := c.Lookup(flow.MustParseKey("tp_dst=80"))
+	if e.Value != 2 {
+		t.Errorf("replacement not visible: %v", e.Value)
+	}
+}
+
+func TestSamePredicateDifferentPriorities(t *testing.T) {
+	c := New[int]()
+	c.Insert(entry("tp_dst=80", 5, 1))
+	c.Insert(entry("tp_dst=80", 9, 2))
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", c.Len())
+	}
+	e, _ := c.Lookup(flow.MustParseKey("tp_dst=80"))
+	if e.Value != 2 {
+		t.Errorf("want higher-priority value 2, got %d", e.Value)
+	}
+	if !c.Delete(flow.MustParseMatch("tp_dst=80"), 9) {
+		t.Fatal("delete failed")
+	}
+	e, _ = c.Lookup(flow.MustParseKey("tp_dst=80"))
+	if e == nil || e.Value != 1 {
+		t.Errorf("after delete want value 1, got %v", e)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	c := New[int]()
+	c.Insert(entry("ip_dst=10.0.0.0/8", 1, 1))
+	c.Insert(entry("tp_dst=80", 2, 2))
+	if !c.Delete(flow.MustParseMatch("ip_dst=10.0.0.0/8"), 1) {
+		t.Fatal("delete existing failed")
+	}
+	if c.Delete(flow.MustParseMatch("ip_dst=10.0.0.0/8"), 1) {
+		t.Fatal("double delete succeeded")
+	}
+	if c.Delete(flow.MustParseMatch("ip_dst=99.0.0.0/8"), 1) {
+		t.Fatal("delete of absent rule succeeded")
+	}
+	if c.Len() != 1 || c.NumTuples() != 1 {
+		t.Errorf("Len=%d NumTuples=%d, want 1,1", c.Len(), c.NumTuples())
+	}
+	e, _ := c.Lookup(flow.MustParseKey("ip_dst=10.1.1.1,tp_dst=80"))
+	if e == nil || e.Value != 2 {
+		t.Errorf("remaining rule not found: %v", e)
+	}
+}
+
+func TestDeleteRestoresMaxPriorityEarlyExit(t *testing.T) {
+	c := New[int]()
+	c.Insert(entry("tp_dst=80", 100, 1))
+	c.Insert(entry("tp_dst=81", 1, 2)) // same tuple, low priority
+	c.Insert(entry("ip_dst=10.0.0.0/8", 50, 3))
+	c.Delete(flow.MustParseMatch("tp_dst=80"), 100)
+	// tp tuple's max priority must now be 1, so the /8 rule should win.
+	e, _ := c.Lookup(flow.MustParseKey("ip_dst=10.0.0.1,tp_dst=81"))
+	if e == nil || e.Value != 3 {
+		t.Fatalf("got %v, want value 3", e)
+	}
+}
+
+func TestGet(t *testing.T) {
+	c := New[int]()
+	c.Insert(entry("tp_dst=80", 7, 42))
+	if e, ok := c.Get(flow.MustParseMatch("tp_dst=80"), 7); !ok || e.Value != 42 {
+		t.Errorf("Get = %v, %v", e, ok)
+	}
+	if _, ok := c.Get(flow.MustParseMatch("tp_dst=80"), 8); ok {
+		t.Error("Get with wrong priority succeeded")
+	}
+	if _, ok := c.Get(flow.MustParseMatch("tp_src=80"), 7); ok {
+		t.Error("Get with wrong match succeeded")
+	}
+}
+
+func TestEarlyExitProbeCount(t *testing.T) {
+	c := New[int]()
+	// High-priority exact rule plus many low-priority tuples.
+	c.Insert(entry("ip_dst=10.0.0.1", 1000, 1))
+	c.Insert(entry("ip_dst=10.0.0.0/8", 1, 2))
+	c.Insert(entry("ip_dst=10.0.0.0/16", 2, 3))
+	c.Insert(entry("ip_dst=10.0.0.0/24", 3, 4))
+	e, probes := c.Lookup(flow.MustParseKey("ip_dst=10.0.0.1"))
+	if e.Value != 1 {
+		t.Fatalf("wrong winner %v", e)
+	}
+	if probes != 1 {
+		t.Errorf("staged lookup should probe only the top tuple, probed %d", probes)
+	}
+	// A miss must probe all tuples.
+	_, probes = c.Lookup(flow.MustParseKey("ip_dst=99.0.0.1"))
+	if probes != c.NumTuples() {
+		t.Errorf("miss probed %d of %d tuples", probes, c.NumTuples())
+	}
+}
+
+func TestStatsAccumulate(t *testing.T) {
+	c := New[int]()
+	c.Insert(entry("tp_dst=80", 1, 1))
+	c.Lookup(flow.MustParseKey("tp_dst=80"))
+	c.Lookup(flow.MustParseKey("tp_dst=81"))
+	if c.Lookups != 2 {
+		t.Errorf("Lookups = %d", c.Lookups)
+	}
+	if c.Probes < 2 {
+		t.Errorf("Probes = %d", c.Probes)
+	}
+}
+
+func TestRangeAndEntries(t *testing.T) {
+	c := New[int]()
+	c.Insert(entry("tp_dst=80", 1, 1))
+	c.Insert(entry("tp_dst=81", 1, 2))
+	c.Insert(entry("ip_proto=6", 1, 3))
+	if got := len(c.Entries()); got != 3 {
+		t.Errorf("Entries len = %d", got)
+	}
+	n := 0
+	c.Range(func(*Entry[int]) bool { n++; return n < 2 })
+	if n != 2 {
+		t.Errorf("Range early stop visited %d", n)
+	}
+}
+
+func TestClear(t *testing.T) {
+	c := New[int]()
+	c.Insert(entry("tp_dst=80", 1, 1))
+	c.Lookup(flow.MustParseKey("tp_dst=80"))
+	c.Clear()
+	if c.Len() != 0 || c.NumTuples() != 0 {
+		t.Error("Clear left rules behind")
+	}
+	if e, _ := c.Lookup(flow.MustParseKey("tp_dst=80")); e != nil {
+		t.Error("lookup hit after Clear")
+	}
+	if c.Lookups != 2 {
+		t.Error("Clear should preserve statistics")
+	}
+}
+
+// linearScan is the reference classifier: check every rule, pick the
+// highest priority match (first inserted wins ties, matching bucket order).
+func linearScan(rules []*Entry[int], k flow.Key) *Entry[int] {
+	var best *Entry[int]
+	for _, r := range rules {
+		if r.Match.Matches(k) && (best == nil || r.Priority > best.Priority) {
+			best = r
+		}
+	}
+	return best
+}
+
+func TestAgainstLinearScanRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	c := New[int]()
+	var rules []*Entry[int]
+	randKey := func() flow.Key {
+		var k flow.Key
+		k = k.With(flow.FieldIPDst, uint64(rng.Intn(8))<<24|uint64(rng.Intn(4)))
+		k = k.With(flow.FieldIPSrc, uint64(rng.Intn(8))<<24)
+		k = k.With(flow.FieldTpDst, uint64(rng.Intn(4)*100))
+		k = k.With(flow.FieldIPProto, uint64(6+rng.Intn(2)*11))
+		return k
+	}
+	masks := []flow.Mask{
+		flow.ExactFields(flow.FieldIPDst),
+		flow.EmptyMask.With(flow.FieldIPDst, flow.PrefixMask(flow.FieldIPDst, 8)),
+		flow.ExactFields(flow.FieldTpDst),
+		flow.ExactFields(flow.FieldIPProto, flow.FieldTpDst),
+		flow.EmptyMask.With(flow.FieldIPSrc, flow.PrefixMask(flow.FieldIPSrc, 8)).WithField(flow.FieldTpDst),
+	}
+	// Distinct priority per rule avoids ambiguity about equal-priority winners.
+	for i := 0; i < 300; i++ {
+		m := flow.NewMatch(randKey(), masks[rng.Intn(len(masks))])
+		e := &Entry[int]{Match: m, Priority: i + 1, Value: i}
+		c.Insert(e)
+		rules = append(rules, e)
+	}
+	for i := 0; i < 3000; i++ {
+		k := randKey()
+		want := linearScan(rules, k)
+		got, _ := c.Lookup(k)
+		switch {
+		case want == nil && got != nil:
+			t.Fatalf("key %s: tss hit %v, linear miss", k, got.Match)
+		case want != nil && got == nil:
+			t.Fatalf("key %s: tss miss, linear hit %v", k, want.Match)
+		case want != nil && got.Priority != want.Priority:
+			t.Fatalf("key %s: tss prio %d, linear prio %d", k, got.Priority, want.Priority)
+		}
+	}
+}
+
+func TestRandomizedInsertDeleteConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	c := New[int]()
+	live := map[int]*Entry[int]{}
+	next := 0
+	for step := 0; step < 2000; step++ {
+		if len(live) == 0 || rng.Intn(3) > 0 {
+			m := flow.NewMatch(
+				flow.Key{}.With(flow.FieldTpDst, uint64(rng.Intn(50))),
+				flow.ExactFields(flow.FieldTpDst))
+			e := &Entry[int]{Match: m, Priority: next + 1, Value: next}
+			c.Insert(e)
+			live[next] = e
+			next++
+		} else {
+			for id, e := range live {
+				if !c.Delete(e.Match, e.Priority) {
+					t.Fatalf("step %d: delete of live rule failed", step)
+				}
+				delete(live, id)
+				break
+			}
+		}
+		if c.Len() != len(live) {
+			t.Fatalf("step %d: Len=%d live=%d", step, c.Len(), len(live))
+		}
+	}
+	// Final sanity: every live rule is still reachable.
+	for _, e := range live {
+		got, _ := c.Lookup(e.Match.Key)
+		if got == nil {
+			t.Fatalf("live rule %v unreachable", e.Match)
+		}
+	}
+}
+
+func BenchmarkLookupHit(b *testing.B) {
+	c := New[int]()
+	rng := rand.New(rand.NewSource(1))
+	keys := make([]flow.Key, 1024)
+	for i := range keys {
+		k := flow.Key{}.
+			With(flow.FieldIPDst, rng.Uint64()).
+			With(flow.FieldTpDst, rng.Uint64())
+		keys[i] = k
+		c.Insert(&Entry[int]{Match: flow.NewMatch(k, flow.ExactFields(flow.FieldIPDst, flow.FieldTpDst)), Priority: 1, Value: i})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Lookup(keys[i%len(keys)])
+	}
+}

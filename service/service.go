@@ -1,0 +1,340 @@
+// Package service wraps gigaflow.VSwitch in the runtime scaffolding a
+// deployment needs: a pool of forwarding workers fed by RSS-sharded
+// queues (OVS's PMD-thread architecture), rule updates with immediate
+// revalidation (§4.3.1), periodic idle-entry expiry (§4.3.2), and graceful
+// shutdown.
+//
+// The underlying pipeline and caches are deliberately single-threaded (as
+// in the paper, where one CPU core runs the slowpath), so the service is
+// shared-nothing: each worker owns a full replica of the pipeline and its
+// own cache shard, and every flow is RSS-hashed to exactly one worker —
+// the same spreading a NIC performs before delivering to per-core queues.
+// Rule updates are deterministic functions applied to every replica on its
+// own goroutine, so replicas never diverge and the fast path never takes a
+// lock.
+package service
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"time"
+
+	"gigaflow"
+)
+
+// Config parameterises a Service.
+type Config struct {
+	// Workers is the number of forwarding workers (default 1). The cache
+	// budget is split evenly between them.
+	Workers int
+	// Cache configures the Gigaflow cache; TableCapacity is the TOTAL
+	// budget, divided across workers (defaults 4×8192).
+	Cache gigaflow.CacheConfig
+	// ExpireEvery triggers idle-entry sweeps (default 500ms; requires
+	// MaxIdle).
+	ExpireEvery time.Duration
+	// MaxIdle expires entries idle longer than this (0 disables expiry).
+	MaxIdle time.Duration
+	// QueueDepth is each worker's input queue length (default 1024).
+	QueueDepth int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 1
+	}
+	if c.ExpireEvery == 0 {
+		c.ExpireEvery = 500 * time.Millisecond
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 1024
+	}
+	if c.Cache.NumTables <= 0 {
+		c.Cache.NumTables = 4
+	}
+	if c.Cache.TableCapacity <= 0 {
+		c.Cache.TableCapacity = 8192
+	}
+	return c
+}
+
+// Result reports one packet's fate to its submitter.
+type Result struct {
+	Verdict  gigaflow.Verdict
+	Final    gigaflow.Key
+	CacheHit bool
+	Err      error
+}
+
+// packet is one queued unit of work: a flow key to forward, or a control
+// function (rule update / revalidation / expiry) executed inline on the
+// worker goroutine so its pipeline and cache are never touched
+// concurrently.
+type packet struct {
+	key     gigaflow.Key
+	resp    chan<- Result
+	control func()
+}
+
+// worker owns one pipeline replica and one cache shard.
+type worker struct {
+	vs *gigaflow.VSwitch
+	in chan packet
+}
+
+// Service is a running multi-worker vSwitch.
+type Service struct {
+	cfg     Config
+	workers []*worker
+
+	mu      sync.Mutex
+	cancel  context.CancelFunc
+	done    sync.WaitGroup
+	started bool
+	closed  bool
+}
+
+// New builds a service around a pipeline. Each worker receives its own
+// replica (cloned through the textual program format), so the original may
+// be retained or discarded freely by the caller; post-start rule changes
+// must go through UpdateRules.
+func New(p *gigaflow.Pipeline, cfg Config) (*Service, error) {
+	cfg = cfg.withDefaults()
+	s := &Service{cfg: cfg}
+
+	var program strings.Builder
+	if err := gigaflow.DumpPipeline(&program, p); err != nil {
+		return nil, err
+	}
+	perWorker := cfg.Cache
+	perWorker.TableCapacity = cfg.Cache.TableCapacity / cfg.Workers
+	if perWorker.TableCapacity < 1 {
+		perWorker.TableCapacity = 1
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		replica, err := gigaflow.LoadPipelineString(program.String())
+		if err != nil {
+			return nil, err
+		}
+		replica.SetStart(p.Start)
+		var opts []gigaflow.VSwitchOption
+		if cfg.MaxIdle > 0 {
+			opts = append(opts, gigaflow.WithMaxIdle(cfg.MaxIdle.Nanoseconds()))
+		}
+		s.workers = append(s.workers, &worker{
+			vs: gigaflow.NewVSwitch(replica, perWorker, opts...),
+			in: make(chan packet, cfg.QueueDepth),
+		})
+	}
+	return s, nil
+}
+
+// Start launches the workers and the expiry ticker. Cancel ctx or call
+// Close to stop.
+func (s *Service) Start(ctx context.Context) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.started {
+		return errors.New("service: already started")
+	}
+	s.started = true
+	ctx, s.cancel = context.WithCancel(ctx)
+	for _, w := range s.workers {
+		s.done.Add(1)
+		go s.runWorker(ctx, w)
+	}
+	if s.cfg.MaxIdle > 0 {
+		s.done.Add(1)
+		go s.runExpiry(ctx)
+	}
+	return nil
+}
+
+func (s *Service) runWorker(ctx context.Context, w *worker) {
+	defer s.done.Done()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case pkt := <-w.in:
+			if pkt.control != nil {
+				pkt.control()
+				continue
+			}
+			res, err := w.vs.Process(pkt.key, time.Now().UnixNano())
+			if pkt.resp != nil {
+				pkt.resp <- Result{Verdict: res.Verdict, Final: res.Final, CacheHit: res.CacheHit, Err: err}
+			}
+		}
+	}
+}
+
+func (s *Service) runExpiry(ctx context.Context) {
+	defer s.done.Done()
+	ticker := time.NewTicker(s.cfg.ExpireEvery)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+			now := time.Now().UnixNano()
+			for _, w := range s.workers {
+				w := w
+				// A full queue skips this sweep; the next tick retries.
+				select {
+				case w.in <- packet{control: func() { w.vs.ExpireIdle(now) }}:
+				default:
+				}
+			}
+		}
+	}
+}
+
+// Submit enqueues a packet for processing and waits for its Result. Flows
+// with the same 5-tuple always reach the same worker.
+func (s *Service) Submit(ctx context.Context, k gigaflow.Key) (Result, error) {
+	w := s.workers[int(keyShard(k)%uint64(len(s.workers)))]
+	resp := make(chan Result, 1)
+	select {
+	case <-ctx.Done():
+		return Result{}, ctx.Err()
+	case w.in <- packet{key: k, resp: resp}:
+	}
+	select {
+	case <-ctx.Done():
+		return Result{}, ctx.Err()
+	case r := <-resp:
+		return r, r.Err
+	}
+}
+
+// UpdateRules applies a deterministic mutation to every worker's pipeline
+// replica (on the worker's own goroutine) and revalidates its cache
+// immediately. The function is called once per replica and must perform
+// the same logical change each time; an error from any replica is
+// returned (replicas that already applied it keep the change and a
+// consistent revalidated cache).
+func (s *Service) UpdateRules(ctx context.Context, fn func(p *gigaflow.Pipeline) error) error {
+	errs := make(chan error, len(s.workers))
+	for _, w := range s.workers {
+		w := w
+		op := packet{control: func() {
+			err := fn(w.vs.Pipeline())
+			if err == nil {
+				w.vs.Revalidate()
+			}
+			errs <- err
+		}}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case w.in <- op:
+		}
+	}
+	var first error
+	for range s.workers {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case err := <-errs:
+			if err != nil && first == nil {
+				first = err
+			}
+		}
+	}
+	return first
+}
+
+// Stats aggregates all workers' counters. It runs on the workers' own
+// goroutines for a coherent snapshot.
+func (s *Service) Stats(ctx context.Context) (gigaflow.VSwitchStats, error) {
+	var mu sync.Mutex
+	var out gigaflow.VSwitchStats
+	done := make(chan struct{}, len(s.workers))
+	for _, w := range s.workers {
+		w := w
+		op := packet{control: func() {
+			st := w.vs.Stats()
+			mu.Lock()
+			out.Packets += st.Packets
+			out.MicroflowHits += st.MicroflowHits
+			out.CacheHits += st.CacheHits
+			out.CacheMisses += st.CacheMisses
+			out.Slowpath += st.Slowpath
+			out.Installs += st.Installs
+			out.InstallErrs += st.InstallErrs
+			mu.Unlock()
+			done <- struct{}{}
+		}}
+		select {
+		case <-ctx.Done():
+			return out, ctx.Err()
+		case w.in <- op:
+		}
+	}
+	for range s.workers {
+		select {
+		case <-ctx.Done():
+			return out, ctx.Err()
+		case <-done:
+		}
+	}
+	return out, nil
+}
+
+// CacheEntries sums cache entries across worker shards, snapshotted on
+// the workers' own goroutines.
+func (s *Service) CacheEntries() int {
+	var mu sync.Mutex
+	total := 0
+	done := make(chan struct{}, len(s.workers))
+	for _, w := range s.workers {
+		w := w
+		w.in <- packet{control: func() {
+			mu.Lock()
+			total += w.vs.CacheEntries()
+			mu.Unlock()
+			done <- struct{}{}
+		}}
+	}
+	for range s.workers {
+		<-done
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	return total
+}
+
+// Close stops the workers and waits for them to exit.
+func (s *Service) Close() error {
+	s.mu.Lock()
+	if !s.started || s.closed {
+		s.mu.Unlock()
+		return errors.New("service: not running")
+	}
+	s.closed = true
+	s.mu.Unlock()
+	s.cancel()
+	s.done.Wait()
+	return nil
+}
+
+// keyShard hashes the 5-tuple for RSS sharding.
+func keyShard(k gigaflow.Key) uint64 {
+	h := uint64(14695981039346656037)
+	for _, f := range []gigaflow.FieldID{
+		gigaflow.FieldIPSrc, gigaflow.FieldIPDst, gigaflow.FieldIPProto,
+		gigaflow.FieldTpSrc, gigaflow.FieldTpDst,
+	} {
+		v := k.Get(f)
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= 1099511628211
+			v >>= 8
+		}
+	}
+	return h
+}

@@ -1,0 +1,206 @@
+package gigaflow
+
+import (
+	"fmt"
+
+	gfcache "gigaflow/internal/gigaflow"
+	"gigaflow/internal/megaflow"
+	"gigaflow/internal/microflow"
+)
+
+// VSwitch couples a hardware flow cache with the software slowpath: the
+// complete Figure 5 workflow. Packets are first classified by the cache;
+// on a miss the flow signature runs through the userspace pipeline, the
+// resulting traversal is partitioned and compiled into cache rules, and
+// the rules are installed so subsequent packets — including packets of
+// *other* flows sharing sub-traversals — hit in hardware.
+//
+// VSwitch is not safe for concurrent use; drive it from one goroutine (the
+// paper's configurations dedicate a single CPU core to the slowpath).
+type VSwitch struct {
+	pipe *Pipeline
+	gf   *gfcache.Cache
+	mf   *megaflow.Cache  // optional alternative backend
+	uf   *microflow.Cache // optional exact-match first level
+
+	maxIdle int64
+	stats   VSwitchStats
+}
+
+// VSwitchStats counts end-to-end events.
+type VSwitchStats struct {
+	Packets       uint64
+	MicroflowHits uint64 // exact-match first-level hits (if enabled)
+	CacheHits     uint64
+	CacheMisses   uint64
+	Slowpath      uint64 // traversals executed
+	Installs      uint64
+	InstallErrs   uint64
+}
+
+// HitRate reports CacheHits/Packets.
+func (s *VSwitchStats) HitRate() float64 {
+	if s.Packets == 0 {
+		return 0
+	}
+	return float64(s.CacheHits) / float64(s.Packets)
+}
+
+// VSwitchOption configures a VSwitch.
+type VSwitchOption func(*VSwitch)
+
+// WithMaxIdle enables idle expiry of cache entries (§4.3.2); call
+// ExpireIdle periodically with the current virtual time.
+func WithMaxIdle(ns int64) VSwitchOption {
+	return func(v *VSwitch) { v.maxIdle = ns }
+}
+
+// WithMegaflowBackend replaces the Gigaflow cache with a Megaflow cache of
+// the given capacity — the baseline configuration, useful for comparisons.
+func WithMegaflowBackend(capacity int) VSwitchOption {
+	return func(v *VSwitch) {
+		v.gf = nil
+		v.mf = megaflow.New(capacity)
+	}
+}
+
+// WithMicroflow fronts the main cache with an exact-match Microflow tier
+// of the given capacity, completing the OVS cache hierarchy (§2.1). It is
+// invalidated wholesale on revalidation, as OVS does — exact entries carry
+// no wildcard to recheck incrementally.
+func WithMicroflow(capacity int) VSwitchOption {
+	return func(v *VSwitch) { v.uf = microflow.New(capacity) }
+}
+
+// NewVSwitch builds a vSwitch around a pipeline with a Gigaflow cache of
+// the given configuration.
+func NewVSwitch(p *Pipeline, cfg CacheConfig, opts ...VSwitchOption) *VSwitch {
+	v := &VSwitch{pipe: p, gf: gfcache.New(p, cfg)}
+	for _, o := range opts {
+		o(v)
+	}
+	return v
+}
+
+// Pipeline returns the slowpath pipeline.
+func (v *VSwitch) Pipeline() *Pipeline { return v.pipe }
+
+// Cache returns the Gigaflow cache, or nil when running with the Megaflow
+// backend.
+func (v *VSwitch) Cache() *gfcache.Cache { return v.gf }
+
+// Stats returns a snapshot of the counters.
+func (v *VSwitch) Stats() VSwitchStats { return v.stats }
+
+// ProcessResult describes one packet's handling.
+type ProcessResult struct {
+	Verdict Verdict
+	Final   Key
+	// CacheHit reports whether a cache (Microflow or the main cache)
+	// handled the packet without the slowpath.
+	CacheHit bool
+	// MicroflowHit reports whether the exact-match first level served it.
+	MicroflowHit bool
+}
+
+// Process handles one packet at virtual time now (nanoseconds): Microflow
+// exact-match (if enabled), main cache lookup, slowpath on miss, rule
+// installation.
+func (v *VSwitch) Process(k Key, now int64) (ProcessResult, error) {
+	v.stats.Packets++
+	if v.uf != nil {
+		if e, ok := v.uf.Lookup(k, now); ok {
+			v.stats.MicroflowHits++
+			v.stats.CacheHits++
+			return ProcessResult{Verdict: e.Verdict, Final: e.Final, CacheHit: true, MicroflowHit: true}, nil
+		}
+	}
+	if v.gf != nil {
+		if res := v.gf.Lookup(k, now); res.Hit {
+			v.stats.CacheHits++
+			v.memoize(k, res.Final, res.Verdict, now)
+			return ProcessResult{Verdict: res.Verdict, Final: res.Final, CacheHit: true}, nil
+		}
+	} else if e, ok := v.mf.Lookup(k, now); ok {
+		v.stats.CacheHits++
+		final, verdict := e.Apply(k)
+		v.memoize(k, final, verdict, now)
+		return ProcessResult{Verdict: verdict, Final: final, CacheHit: true}, nil
+	}
+	v.stats.CacheMisses++
+	v.stats.Slowpath++
+	tr, err := v.pipe.Process(k)
+	if err != nil {
+		return ProcessResult{}, fmt.Errorf("gigaflow: slowpath: %w", err)
+	}
+	if v.gf != nil {
+		if _, err := v.gf.Insert(tr, now); err != nil {
+			v.stats.InstallErrs++
+		} else {
+			v.stats.Installs++
+		}
+	} else {
+		if e := v.mf.Insert(tr, now); e == nil {
+			v.stats.InstallErrs++
+		} else {
+			v.stats.Installs++
+		}
+	}
+	v.memoize(k, tr.FinalKey(), tr.Verdict, now)
+	return ProcessResult{Verdict: tr.Verdict, Final: tr.FinalKey()}, nil
+}
+
+// memoize records a processed flow in the Microflow tier, when enabled.
+func (v *VSwitch) memoize(k, final Key, verdict Verdict, now int64) {
+	if v.uf != nil {
+		v.uf.Insert(k, final, verdict, now)
+	}
+}
+
+// Revalidate re-checks every cached entry against the current pipeline
+// rules (§4.3.1), evicting stale ones, and drops the Microflow tier
+// wholesale (exact entries cannot be rechecked incrementally). Call after
+// mutating pipeline rules. Returns main-cache entries evicted and pipeline
+// lookups replayed.
+func (v *VSwitch) Revalidate() (evicted, work int) {
+	if v.uf != nil {
+		v.uf.Invalidate()
+	}
+	if v.gf != nil {
+		return v.gf.Revalidate()
+	}
+	return v.mf.Revalidate(v.pipe)
+}
+
+// ExpireIdle evicts entries idle longer than the configured max-idle
+// (no-op unless WithMaxIdle was set). Returns the number evicted from the
+// main cache.
+func (v *VSwitch) ExpireIdle(now int64) int {
+	if v.maxIdle <= 0 {
+		return 0
+	}
+	if v.uf != nil {
+		v.uf.ExpireIdle(now, v.maxIdle)
+	}
+	if v.gf != nil {
+		return v.gf.ExpireIdle(now, v.maxIdle)
+	}
+	return v.mf.ExpireIdle(now, v.maxIdle)
+}
+
+// CacheEntries reports the number of installed cache entries.
+func (v *VSwitch) CacheEntries() int {
+	if v.gf != nil {
+		return v.gf.Len()
+	}
+	return v.mf.Len()
+}
+
+// Coverage reports the cache's rule-space coverage (Table 2); for the
+// Megaflow backend this equals the entry count.
+func (v *VSwitch) Coverage() uint64 {
+	if v.gf != nil {
+		return v.gf.Coverage()
+	}
+	return uint64(v.mf.Len())
+}
