@@ -1,0 +1,26 @@
+GO ?= go
+
+.PHONY: ci build test race vet fmt-check bench
+
+## ci: the standard verification gate — vet, build, race-enabled tests,
+## and a gofmt cleanliness check. Run before every commit.
+ci: vet build race fmt-check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+bench:
+	$(GO) test -run xxx -bench . -benchmem .

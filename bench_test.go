@@ -298,3 +298,59 @@ func BenchmarkFig19_CoreScaling(b *testing.B) {
 		_ = tab.Render()
 	}
 }
+
+// --- VSwitch hot-path benchmarks -------------------------------------
+//
+// These guard the telemetry integration: the cache-hit path must stay
+// allocation-free and within noise of its pre-telemetry cost, both with
+// tracing disabled (the default) and with a tracer attached but sampling
+// off.
+
+func BenchmarkVSwitchCacheHit(b *testing.B) {
+	vs := NewVSwitch(buildDemoPipeline(), CacheConfig{NumTables: 3, TableCapacity: 64})
+	k := demoKey(1, 80)
+	if _, err := vs.Process(k, 0); err != nil { // warm the cache
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := vs.Process(k, int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkVSwitchMicroflowHit(b *testing.B) {
+	vs := NewVSwitch(buildDemoPipeline(), CacheConfig{NumTables: 3, TableCapacity: 64},
+		WithMicroflow(128))
+	k := demoKey(1, 80)
+	if _, err := vs.Process(k, 0); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := vs.Process(k, int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkVSwitchCacheHitTraced attaches a tracer with sampling disabled:
+// the only added cost on the hit path must be one atomic load.
+func BenchmarkVSwitchCacheHitTraced(b *testing.B) {
+	vs := NewVSwitch(buildDemoPipeline(), CacheConfig{NumTables: 3, TableCapacity: 64},
+		WithTracer(NewTracer(0, 64)))
+	k := demoKey(1, 80)
+	if _, err := vs.Process(k, 0); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := vs.Process(k, int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

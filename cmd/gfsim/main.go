@@ -18,6 +18,7 @@ import (
 	"gigaflow/internal/pipelines"
 	"gigaflow/internal/sim"
 	"gigaflow/internal/stats"
+	"gigaflow/internal/telemetry"
 	"gigaflow/internal/traffic"
 )
 
@@ -35,6 +36,7 @@ func main() {
 		locality = flag.String("locality", "high", "traffic locality (high|low)")
 		cores    = flag.Int("cores", 1, "slowpath CPU cores")
 		seed     = flag.Int64("seed", 1, "seed")
+		telem    = flag.Bool("telemetry", false, "dump the metrics registry (Prometheus text) after the report")
 	)
 	flag.Parse()
 
@@ -122,6 +124,15 @@ func main() {
 		}
 	}
 	fmt.Println(t.Render())
+
+	if *telem {
+		reg := telemetry.NewRegistry()
+		res.CollectMetrics(reg)
+		fmt.Println("--- telemetry ---")
+		if err := reg.WritePrometheus(os.Stdout); err != nil {
+			fail(err)
+		}
+	}
 }
 
 func fail(err error) {

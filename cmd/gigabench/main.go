@@ -20,6 +20,7 @@ import (
 	"gigaflow/internal/experiments"
 	"gigaflow/internal/pipelines"
 	"gigaflow/internal/stats"
+	"gigaflow/internal/telemetry"
 )
 
 var experimentOrder = []string{
@@ -39,6 +40,7 @@ func main() {
 		gfCap     = flag.Int("gf-cap", 8192, "Gigaflow per-table capacity")
 		mfCap     = flag.Int("mf-cap", 32768, "Megaflow capacity")
 		pipeNames = flag.String("pipelines", "", "comma-separated pipeline subset (e.g. PSC,OLS)")
+		telem     = flag.Bool("telemetry", false, "dump a per-experiment metrics registry (Prometheus text) at exit")
 	)
 	flag.Parse()
 
@@ -74,13 +76,26 @@ func main() {
 	if *exp == "all" {
 		ids = experimentOrder
 	}
+	reg := telemetry.NewRegistry()
+	durations := reg.HistogramVec("gigabench_experiment_duration_ns",
+		"Wall-clock duration per experiment.", "experiment")
+	completed := reg.Counter("gigabench_experiments_total", "Experiments completed.")
 	for _, id := range ids {
 		start := time.Now()
 		if err := run(id, p); err != nil {
 			fmt.Fprintf(os.Stderr, "gigabench: %s: %v\n", id, err)
 			os.Exit(1)
 		}
+		durations.With(id).Observe(float64(time.Since(start).Nanoseconds()))
+		completed.Inc()
 		fmt.Printf("[%s completed in %.1fs]\n\n", id, time.Since(start).Seconds())
+	}
+	if *telem {
+		fmt.Println("--- telemetry ---")
+		if err := reg.WritePrometheus(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "gigabench: %v\n", err)
+			os.Exit(1)
+		}
 	}
 }
 

@@ -26,6 +26,7 @@ import (
 	"gigaflow/internal/ofp"
 	"gigaflow/internal/pipeline"
 	"gigaflow/internal/pipelines"
+	"gigaflow/internal/telemetry"
 )
 
 // Flow model -----------------------------------------------------------
@@ -169,6 +170,29 @@ func NewDevice(cfg DeviceConfig, cache *Cache) *Device {
 
 // EstimateResources models the FPGA cost of an LTM configuration (§5).
 var EstimateResources = nic.EstimateResources
+
+// Telemetry --------------------------------------------------------------
+
+// MetricsRegistry is a concurrent metrics registry (atomic counters,
+// gauges, log2 histograms) with Prometheus-text and JSON exposition.
+type MetricsRegistry = telemetry.Registry
+
+// Tracer samples per-packet traversal traces into a bounded ring; attach
+// to a VSwitch with WithTracer.
+type Tracer = telemetry.Tracer
+
+// TraversalTrace is one sampled packet's stage-by-stage record.
+type TraversalTrace = telemetry.Trace
+
+// TraceStage is one step within a TraversalTrace.
+type TraceStage = telemetry.Stage
+
+// NewMetricsRegistry creates an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return telemetry.NewRegistry() }
+
+// NewTracer creates a tracer sampling 1-in-sampleEvery packets (0
+// disables) with a ring of buffer recent traces.
+func NewTracer(sampleEvery, buffer int) *Tracer { return telemetry.NewTracer(sampleEvery, buffer) }
 
 // Pipeline models --------------------------------------------------------
 

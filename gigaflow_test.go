@@ -224,8 +224,16 @@ func TestVSwitchMicroflowTier(t *testing.T) {
 		t.Error("second exact packet should hit microflow")
 	}
 	st := vs.Stats()
-	if st.MicroflowHits != 2 || st.CacheHits != 3 {
+	// Tiers are disjoint: 4 packets = 2 microflow hits + 1 main-cache hit
+	// + 1 miss.
+	if st.MicroflowHits != 2 || st.CacheHits != 1 || st.CacheMisses != 1 {
 		t.Errorf("stats = %+v", st)
+	}
+	if got := st.HitRate(); got != 0.5 {
+		t.Errorf("HitRate = %v, want 0.5 (main cache only)", got)
+	}
+	if got := st.TotalHitRate(); got != 0.75 {
+		t.Errorf("TotalHitRate = %v, want 0.75 (any cache tier)", got)
 	}
 	// Rule change: revalidation must also flush the microflow tier.
 	p := vs.Pipeline()

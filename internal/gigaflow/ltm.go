@@ -67,6 +67,31 @@ func (e *Entry) String() string {
 	return fmt.Sprintf("ltm{τ=%d ρ=%d %s -> %v, %s}", e.Tag, e.Priority, e.Match, e.Commit, next)
 }
 
+// TableIndex reports which LTM cache table (GF_k) holds the entry, or -1
+// for an entry not currently installed.
+func (e *Entry) TableIndex() int {
+	if e.table == nil {
+		return -1
+	}
+	return e.table.idx
+}
+
+// TableStats counts per-LTM-table cache events, the per-table view the
+// telemetry layer exports (occupancy and capacity live alongside them in
+// TableSnapshot).
+type TableStats struct {
+	// Hits counts lookups that matched an entry in this table (every table
+	// on a hit chain counts, not just the terminal one).
+	Hits uint64 `json:"hits"`
+	// Inserts counts fresh entries created in this table.
+	Inserts uint64 `json:"inserts"`
+	// EvictLRU/Expired/Revoked count removals by cause (capacity pressure,
+	// idle timeout, revalidation).
+	EvictLRU uint64 `json:"evict_lru"`
+	Expired  uint64 `json:"expired"`
+	Revoked  uint64 `json:"revoked"`
+}
+
 // ltmTable is one hardware cache table GF_k: ternary entries grouped by
 // exact tag, with per-table capacity and LRU order.
 type ltmTable struct {
@@ -76,6 +101,7 @@ type ltmTable struct {
 	count    int
 	lruHead  *Entry
 	lruTail  *Entry
+	stats    TableStats
 }
 
 func (t *ltmTable) lookup(tag int, k flow.Key) (*Entry, int) {
@@ -175,29 +201,29 @@ func (t *ltmTable) entries() []*Entry {
 
 // Stats counts Gigaflow cache events.
 type Stats struct {
-	Hits   uint64
-	Misses uint64
+	Hits   uint64 `json:"hits"`
+	Misses uint64 `json:"misses"`
 	// Stalls are misses where the packet matched a partial entry chain but
 	// the tag sequence never reached a terminal entry.
-	Stalls uint64
+	Stalls uint64 `json:"stalls"`
 	// InsertedTraversals counts traversals the slowpath compiled into the
 	// cache; EntriesCreated the fresh LTM entries that produced;
 	// SharedReuse the sub-traversals that were already present (the
 	// pipeline-aware sharing the design exploits).
-	InsertedTraversals uint64
-	EntriesCreated     uint64
-	SharedReuse        uint64
-	Conflicts          uint64 // same ⟨τ,M,ρ⟩ with different actions; replaced
-	Rejected           uint64 // traversal not installed: target tables full
-	EvictLRU           uint64
-	Expired            uint64
-	Revoked            uint64
-	RevalWork          uint64 // pipeline table lookups spent revalidating
+	InsertedTraversals uint64 `json:"inserted_traversals"`
+	EntriesCreated     uint64 `json:"entries_created"`
+	SharedReuse        uint64 `json:"shared_reuse"`
+	Conflicts          uint64 `json:"conflicts"` // same ⟨τ,M,ρ⟩ with different actions; replaced
+	Rejected           uint64 `json:"rejected"`  // traversal not installed: target tables full
+	EvictLRU           uint64 `json:"evict_lru"`
+	Expired            uint64 `json:"expired"`
+	Revoked            uint64 `json:"revoked"`
+	RevalWork          uint64 `json:"reval_work"` // pipeline table lookups spent revalidating
 	// TablesProbed counts per-lookup table consultations, and TupleProbes
 	// the TSS tuple probes within them — the software search work a
 	// CPU-resident Gigaflow cache would spend (Fig. 17).
-	TablesProbed uint64
-	TupleProbes  uint64
+	TablesProbed uint64 `json:"tables_probed"`
+	TupleProbes  uint64 `json:"tuple_probes"`
 }
 
 // HitRate returns Hits / (Hits+Misses), or 0 when idle.
@@ -293,6 +319,45 @@ func (c *Cache) Stats() Stats { return c.stats }
 // Config returns the cache configuration.
 func (c *Cache) Config() Config { return c.cfg }
 
+// TableSnapshot describes one LTM table for introspection: counters plus
+// occupancy.
+type TableSnapshot struct {
+	Index    int `json:"index"`
+	Len      int `json:"len"`
+	Capacity int `json:"capacity"`
+	// Tags is the number of distinct pipeline-table tags resident (each is
+	// one TSS classifier group).
+	Tags int `json:"tags"`
+	TableStats
+}
+
+// TableSnapshot reports table i's counters and occupancy.
+func (c *Cache) TableSnapshot(i int) TableSnapshot {
+	t := c.tables[i]
+	return TableSnapshot{Index: i, Len: t.count, Capacity: t.capacity,
+		Tags: len(t.byTag), TableStats: t.stats}
+}
+
+// Snapshot bundles cache-wide counters, occupancy, and the per-table view
+// for telemetry export. Not safe for concurrent use with cache mutation;
+// call from the goroutine driving the cache.
+type Snapshot struct {
+	Stats
+	Len      int             `json:"len"`
+	Capacity int             `json:"capacity"`
+	Tables   []TableSnapshot `json:"tables"`
+}
+
+// Snapshot captures the cache's current telemetry view.
+func (c *Cache) Snapshot() Snapshot {
+	s := Snapshot{Stats: c.stats, Len: c.Len(), Capacity: c.Capacity()}
+	s.Tables = make([]TableSnapshot, len(c.tables))
+	for i := range c.tables {
+		s.Tables[i] = c.TableSnapshot(i)
+	}
+	return s
+}
+
 // Result is the outcome of one LTM cache lookup.
 type Result struct {
 	Hit     bool
@@ -317,6 +382,7 @@ func (c *Cache) Lookup(k flow.Key, now int64) Result {
 		if e == nil {
 			continue
 		}
+		t.stats.Hits++
 		path = append(path, e)
 		cur, _ = flow.Apply(cur, e.Commit)
 		if e.Terminal {
@@ -487,9 +553,11 @@ func (c *Cache) InsertPartition(tr *pipeline.Traversal, part Partition, now int6
 			}
 			t.remove(t.lruTail)
 			c.stats.EvictLRU++
+			t.stats.EvictLRU++
 		}
 		t.insert(e)
 		c.stats.EntriesCreated++
+		t.stats.Inserts++
 	}
 	c.stats.InsertedTraversals++
 	if c.adapt != nil && c.observeInsert {
@@ -525,6 +593,7 @@ func (c *Cache) ExpireIdle(now, maxIdle int64) int {
 		for _, e := range stale {
 			t.remove(e)
 			c.stats.Expired++
+			t.stats.Expired++
 			n++
 		}
 	}
@@ -560,6 +629,7 @@ func (c *Cache) Revalidate() (evicted, work int) {
 		for _, e := range bad {
 			t.remove(e)
 			c.stats.Revoked++
+			t.stats.Revoked++
 			evicted++
 		}
 	}

@@ -40,15 +40,15 @@ type Entry struct {
 
 // Stats counts cache events.
 type Stats struct {
-	Hits      uint64
-	Misses    uint64
-	Inserts   uint64
-	Replaced  uint64 // insert found an identical predicate already cached
-	Rejected  uint64 // insert refused because the cache was full
-	EvictLRU  uint64
-	Expired   uint64 // removed by idle timeout
-	Revoked   uint64 // removed by revalidation
-	RevalWork uint64 // pipeline table lookups spent revalidating
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Inserts   uint64 `json:"inserts"`
+	Replaced  uint64 `json:"replaced"`   // insert found an identical predicate already cached
+	Rejected  uint64 `json:"rejected"`   // insert refused because the cache was full
+	EvictLRU  uint64 `json:"evict_lru"`  // removed by capacity pressure
+	Expired   uint64 `json:"expired"`    // removed by idle timeout
+	Revoked   uint64 `json:"revoked"`    // removed by revalidation
+	RevalWork uint64 `json:"reval_work"` // pipeline table lookups spent revalidating
 }
 
 // HitRate returns Hits / (Hits+Misses), or 0 when idle.
@@ -108,6 +108,23 @@ func (c *Cache) NumMasks() int { return c.cls.NumTuples() }
 // the software search work a CPU-resident cache would spend (Fig. 17's
 // TSS cost).
 func (c *Cache) TupleProbes() uint64 { return c.cls.Probes }
+
+// Snapshot bundles the cache's counters and occupancy for telemetry
+// export. Not safe for concurrent use with cache mutation; call from the
+// goroutine driving the cache.
+type Snapshot struct {
+	Stats
+	Len         int    `json:"len"`
+	Capacity    int    `json:"capacity"`
+	Masks       int    `json:"masks"` // distinct TSS tuples
+	TupleProbes uint64 `json:"tuple_probes"`
+}
+
+// Snapshot captures the cache's current telemetry view.
+func (c *Cache) Snapshot() Snapshot {
+	return Snapshot{Stats: c.stats, Len: c.Len(), Capacity: c.capacity,
+		Masks: c.NumMasks(), TupleProbes: c.TupleProbes()}
+}
 
 // Lookup finds the entry matching k, updating hit/miss statistics and LRU
 // position. The second result reports whether the lookup hit.

@@ -23,12 +23,21 @@ type Entry struct {
 
 // Stats counts cache events.
 type Stats struct {
-	Hits     uint64
-	Misses   uint64
-	Inserts  uint64
-	EvictLRU uint64
-	Expired  uint64
-	Invalid  uint64 // removed by Invalidate
+	Hits     uint64 `json:"hits"`
+	Misses   uint64 `json:"misses"`
+	Inserts  uint64 `json:"inserts"`
+	EvictLRU uint64 `json:"evict_lru"`
+	Expired  uint64 `json:"expired"`
+	Invalid  uint64 `json:"invalidated"` // removed by Invalidate
+}
+
+// Snapshot bundles the cache's counters and occupancy for telemetry
+// export. Not safe for concurrent use with cache mutation; call from the
+// goroutine driving the cache.
+type Snapshot struct {
+	Stats
+	Len      int `json:"len"`
+	Capacity int `json:"capacity"`
 }
 
 // Cache is a capacity-bounded exact-match cache with LRU replacement.
@@ -56,6 +65,11 @@ func (c *Cache) Capacity() int { return c.capacity }
 
 // Stats returns a snapshot of the counters.
 func (c *Cache) Stats() Stats { return c.stats }
+
+// Snapshot captures the cache's current telemetry view.
+func (c *Cache) Snapshot() Snapshot {
+	return Snapshot{Stats: c.stats, Len: c.Len(), Capacity: c.capacity}
+}
 
 // Lookup finds the entry for exactly k.
 func (c *Cache) Lookup(k flow.Key, now int64) (*Entry, bool) {

@@ -64,25 +64,51 @@ func (s *Summary) String() string {
 	return fmt.Sprintf("%.3g ± %.2g (n=%d)", s.Mean(), s.Std(), s.n)
 }
 
+// NumBuckets is the number of log2 histogram buckets shared by Histogram
+// and the concurrent telemetry histograms built on the same layout.
+const NumBuckets = 64
+
+// BucketIndex maps a non-negative observation to its log2 bucket: values
+// below 1 go to bucket 0, bucket i covers [2^i, 2^(i+1)), and the last
+// bucket absorbs everything at or above 2^63.
+func BucketIndex(x float64) int {
+	if x < 1 {
+		return 0
+	}
+	i := int(math.Log2(x))
+	if i > NumBuckets-1 {
+		i = NumBuckets - 1
+	}
+	return i
+}
+
+// BucketBounds reports the [lo, hi) value range bucket i covers. Bucket 0
+// starts at 0 (it absorbs sub-1 values) and the last bucket is unbounded
+// above, reported as hi = +Inf.
+func BucketBounds(i int) (lo, hi float64) {
+	lo = math.Exp2(float64(i))
+	if i == 0 {
+		lo = 0
+	}
+	hi = math.Exp2(float64(i + 1))
+	if i >= NumBuckets-1 {
+		hi = math.Inf(1)
+	}
+	return lo, hi
+}
+
 // Histogram is a log2-bucketed histogram of non-negative values (e.g.
 // latencies in nanoseconds). Bucket i covers [2^i, 2^(i+1)); values < 1 go
 // to bucket 0.
 type Histogram struct {
-	buckets [64]uint64
+	buckets [NumBuckets]uint64
 	sum     Summary
 }
 
 // Add records one observation.
 func (h *Histogram) Add(x float64) {
 	h.sum.Add(x)
-	i := 0
-	if x >= 1 {
-		i = int(math.Log2(x))
-		if i > 63 {
-			i = 63
-		}
-	}
-	h.buckets[i]++
+	h.buckets[BucketIndex(x)]++
 }
 
 // N reports the number of observations.
@@ -96,6 +122,13 @@ func (h *Histogram) Std() float64 { return h.sum.Std() }
 
 // Max reports the largest observation.
 func (h *Histogram) Max() float64 { return h.sum.Max() }
+
+// Sum reports the sum of all observations.
+func (h *Histogram) Sum() float64 { return h.sum.Mean() * float64(h.sum.N()) }
+
+// Buckets returns a copy of the raw bucket counts (index i holds the count
+// for BucketBounds(i)).
+func (h *Histogram) Buckets() [NumBuckets]uint64 { return h.buckets }
 
 // Quantile estimates the q-quantile (0 ≤ q ≤ 1) from the buckets, using
 // the geometric midpoint of the matching bucket.

@@ -97,6 +97,108 @@ func TestHistogramEdge(t *testing.T) {
 	h.Add(math.MaxFloat64) // clamps to last bucket, must not panic
 }
 
+func TestBucketIndexBounds(t *testing.T) {
+	cases := []struct {
+		x    float64
+		want int
+	}{
+		{0, 0}, {0.25, 0}, {0.999, 0}, {1, 0}, {1.5, 0},
+		{2, 1}, {3.99, 1}, {4, 2}, {1024, 10},
+		{math.Exp2(63), NumBuckets - 1},
+		{math.MaxFloat64, NumBuckets - 1},
+	}
+	for _, c := range cases {
+		if got := BucketIndex(c.x); got != c.want {
+			t.Errorf("BucketIndex(%v) = %d, want %d", c.x, got, c.want)
+		}
+	}
+	// Every representable value must fall inside its bucket's bounds.
+	for _, c := range cases {
+		lo, hi := BucketBounds(BucketIndex(c.x))
+		if c.x < lo || c.x >= hi {
+			t.Errorf("x=%v outside bucket bounds [%v, %v)", c.x, lo, hi)
+		}
+	}
+	if lo, _ := BucketBounds(0); lo != 0 {
+		t.Errorf("bucket 0 lo = %v, want 0", lo)
+	}
+	if _, hi := BucketBounds(NumBuckets - 1); !math.IsInf(hi, 1) {
+		t.Errorf("last bucket hi = %v, want +Inf", hi)
+	}
+}
+
+func TestHistogramQuantileEdges(t *testing.T) {
+	var empty Histogram
+	for _, q := range []float64{0, 0.5, 1} {
+		if got := empty.Quantile(q); got != 0 {
+			t.Errorf("empty Quantile(%v) = %v, want 0", q, got)
+		}
+	}
+
+	// All mass in one bucket: every quantile is that bucket's midpoint.
+	var single Histogram
+	for i := 0; i < 100; i++ {
+		single.Add(100) // bucket [64, 128)
+	}
+	want := (64.0 + 128.0) / 2
+	for _, q := range []float64{0.01, 0.5, 0.99, 1} {
+		if got := single.Quantile(q); got != want {
+			t.Errorf("single-bucket Quantile(%v) = %v, want %v", q, got, want)
+		}
+	}
+
+	// Sub-1 values land in bucket 0, whose midpoint is 1.
+	var tiny Histogram
+	tiny.Add(0)
+	tiny.Add(0.001)
+	if got := tiny.Quantile(0.5); got != 1 {
+		t.Errorf("bucket-0 midpoint = %v, want 1", got)
+	}
+
+	// Values at or above 2^63 clamp into the last bucket; quantiles must
+	// stay finite (Quantile falls through to Max for the tail).
+	var huge Histogram
+	huge.Add(math.Exp2(70))
+	if got := huge.Quantile(0.99); math.IsInf(got, 0) || math.IsNaN(got) {
+		t.Errorf("huge Quantile(0.99) = %v, want finite", got)
+	}
+
+	// q=0 with data: the first non-empty bucket wins (target 0, seen >= 0
+	// once a bucket with mass is reached).
+	var h Histogram
+	h.Add(5) // bucket [4, 8)
+	h.Add(1000)
+	if got := h.Quantile(0); got != 6 {
+		t.Errorf("Quantile(0) = %v, want 6", got)
+	}
+	// q=1 must not exceed the recorded maximum's bucket upper bound.
+	if got := h.Quantile(1); got > 1024 {
+		t.Errorf("Quantile(1) = %v, want <= 1024", got)
+	}
+}
+
+func TestHistogramSumBuckets(t *testing.T) {
+	var h Histogram
+	for i := 1; i <= 10; i++ {
+		h.Add(float64(i))
+	}
+	if got := h.Sum(); math.Abs(got-55) > 1e-9 {
+		t.Errorf("Sum = %v, want 55", got)
+	}
+	b := h.Buckets()
+	var n uint64
+	for _, c := range b {
+		n += c
+	}
+	if n != h.N() {
+		t.Errorf("bucket counts sum to %d, want %d", n, h.N())
+	}
+	// 1 → bucket 0; 2,3 → bucket 1; 4..7 → bucket 2; 8,9,10 → bucket 3.
+	if b[0] != 1 || b[1] != 2 || b[2] != 4 || b[3] != 3 {
+		t.Errorf("buckets = %v", b[:4])
+	}
+}
+
 func TestSeries(t *testing.T) {
 	var s Series
 	s.Name = "hit-rate"

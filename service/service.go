@@ -17,21 +17,52 @@ package service
 import (
 	"context"
 	"errors"
+	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"gigaflow"
+	"gigaflow/internal/telemetry"
 )
+
+// Backend selects the main-cache architecture the workers run.
+type Backend uint8
+
+const (
+	// BackendGigaflow is the K-table LTM sub-traversal cache (default).
+	BackendGigaflow Backend = iota
+	// BackendMegaflow is the single-lookup wildcard cache baseline.
+	BackendMegaflow
+)
+
+// String names the backend.
+func (b Backend) String() string {
+	if b == BackendMegaflow {
+		return "megaflow"
+	}
+	return "gigaflow"
+}
 
 // Config parameterises a Service.
 type Config struct {
 	// Workers is the number of forwarding workers (default 1). The cache
 	// budget is split evenly between them.
 	Workers int
+	// Backend selects the main cache (default BackendGigaflow).
+	Backend Backend
 	// Cache configures the Gigaflow cache; TableCapacity is the TOTAL
-	// budget, divided across workers (defaults 4×8192).
+	// budget, divided across workers (defaults 4×8192). Setting any field
+	// with BackendMegaflow is a configuration error.
 	Cache gigaflow.CacheConfig
+	// MegaflowCapacity is the TOTAL Megaflow entry budget, divided across
+	// workers (default 32768). Only valid with BackendMegaflow.
+	MegaflowCapacity int
+	// MicroflowCapacity fronts each worker's main cache with an
+	// exact-match Microflow tier; the TOTAL budget is divided across
+	// workers (0 disables the tier).
+	MicroflowCapacity int
 	// ExpireEvery triggers idle-entry sweeps (default 500ms; requires
 	// MaxIdle).
 	ExpireEvery time.Duration
@@ -39,6 +70,64 @@ type Config struct {
 	MaxIdle time.Duration
 	// QueueDepth is each worker's input queue length (default 1024).
 	QueueDepth int
+
+	// TelemetryAddr, when non-empty, serves the introspection endpoints
+	// (/metrics, /traces, /cache, /debug/pprof, /debug/vars) on this
+	// address for the service's lifetime (e.g. "127.0.0.1:9090"; use
+	// port 0 to pick a free port, readable via Service.TelemetryAddr).
+	TelemetryAddr string
+	// TraceSample records a full traversal trace for one in N processed
+	// packets (0 disables tracing; the packet path then carries a single
+	// branch and no allocations).
+	TraceSample int
+	// TraceBuffer bounds the ring of retained traces (default 256).
+	TraceBuffer int
+}
+
+// validate rejects nonsensical configurations instead of silently
+// papering over them with defaults.
+func (c Config) validate() error {
+	if c.Workers < 0 {
+		return fmt.Errorf("service: negative Workers (%d)", c.Workers)
+	}
+	if c.QueueDepth < 0 {
+		return fmt.Errorf("service: negative QueueDepth (%d)", c.QueueDepth)
+	}
+	if c.MaxIdle < 0 {
+		return fmt.Errorf("service: negative MaxIdle (%v)", c.MaxIdle)
+	}
+	if c.ExpireEvery < 0 {
+		return fmt.Errorf("service: negative ExpireEvery (%v)", c.ExpireEvery)
+	}
+	if c.ExpireEvery > 0 && c.MaxIdle == 0 {
+		return errors.New("service: ExpireEvery set but MaxIdle is 0 (expiry would never evict)")
+	}
+	if c.MicroflowCapacity < 0 {
+		return fmt.Errorf("service: negative MicroflowCapacity (%d)", c.MicroflowCapacity)
+	}
+	if c.TraceSample < 0 {
+		return fmt.Errorf("service: negative TraceSample (%d)", c.TraceSample)
+	}
+	switch c.Backend {
+	case BackendGigaflow:
+		if c.MegaflowCapacity != 0 {
+			return errors.New("service: MegaflowCapacity set but Backend is BackendGigaflow")
+		}
+		if c.Cache.NumTables < 0 || c.Cache.TableCapacity < 0 {
+			return fmt.Errorf("service: negative Gigaflow cache shape (%d tables × %d)",
+				c.Cache.NumTables, c.Cache.TableCapacity)
+		}
+	case BackendMegaflow:
+		if c.Cache != (gigaflow.CacheConfig{}) {
+			return errors.New("service: Gigaflow Cache parameters set but Backend is BackendMegaflow")
+		}
+		if c.MegaflowCapacity < 0 {
+			return fmt.Errorf("service: negative MegaflowCapacity (%d)", c.MegaflowCapacity)
+		}
+	default:
+		return fmt.Errorf("service: unknown Backend (%d)", c.Backend)
+	}
+	return nil
 }
 
 func (c Config) withDefaults() Config {
@@ -51,11 +140,21 @@ func (c Config) withDefaults() Config {
 	if c.QueueDepth <= 0 {
 		c.QueueDepth = 1024
 	}
-	if c.Cache.NumTables <= 0 {
-		c.Cache.NumTables = 4
+	switch c.Backend {
+	case BackendGigaflow:
+		if c.Cache.NumTables <= 0 {
+			c.Cache.NumTables = 4
+		}
+		if c.Cache.TableCapacity <= 0 {
+			c.Cache.TableCapacity = 8192
+		}
+	case BackendMegaflow:
+		if c.MegaflowCapacity <= 0 {
+			c.MegaflowCapacity = 32768
+		}
 	}
-	if c.Cache.TableCapacity <= 0 {
-		c.Cache.TableCapacity = 8192
+	if c.TraceBuffer <= 0 {
+		c.TraceBuffer = 256
 	}
 	return c
 }
@@ -80,8 +179,12 @@ type packet struct {
 
 // worker owns one pipeline replica and one cache shard.
 type worker struct {
-	vs *gigaflow.VSwitch
-	in chan packet
+	vs    *gigaflow.VSwitch
+	in    chan packet
+	label string // worker index, precomputed for metric labels
+
+	drops atomic.Uint64 // TrySubmit rejections due to a full queue
+	skips atomic.Uint64 // expiry sweeps skipped due to a full queue
 }
 
 // Service is a running multi-worker vSwitch.
@@ -89,11 +192,17 @@ type Service struct {
 	cfg     Config
 	workers []*worker
 
-	mu      sync.Mutex
-	cancel  context.CancelFunc
-	done    sync.WaitGroup
-	started bool
-	closed  bool
+	reg     *telemetry.Registry
+	tracer  *telemetry.Tracer
+	latency *telemetry.Histogram
+	started atomic.Int64 // start wall time (unix ns); 0 before Start
+	tsrv    *telemetryServer
+
+	mu        sync.Mutex
+	cancel    context.CancelFunc
+	done      sync.WaitGroup
+	isStarted bool
+	closed    bool
 }
 
 // New builds a service around a pipeline. Each worker receives its own
@@ -101,8 +210,17 @@ type Service struct {
 // be retained or discarded freely by the caller; post-start rule changes
 // must go through UpdateRules.
 func New(p *gigaflow.Pipeline, cfg Config) (*Service, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
 	cfg = cfg.withDefaults()
-	s := &Service{cfg: cfg}
+	s := &Service{
+		cfg:    cfg,
+		reg:    telemetry.NewRegistry(),
+		tracer: telemetry.NewTracer(cfg.TraceSample, cfg.TraceBuffer),
+	}
+	s.latency = s.reg.Histogram("gigaflow_submit_latency_ns",
+		"End-to-end Submit latency (enqueue to result) in nanoseconds.")
 
 	var program strings.Builder
 	if err := gigaflow.DumpPipeline(&program, p); err != nil {
@@ -119,13 +237,31 @@ func New(p *gigaflow.Pipeline, cfg Config) (*Service, error) {
 			return nil, err
 		}
 		replica.SetStart(p.Start)
-		var opts []gigaflow.VSwitchOption
+		opts := []gigaflow.VSwitchOption{gigaflow.WithTracer(s.tracer)}
 		if cfg.MaxIdle > 0 {
 			opts = append(opts, gigaflow.WithMaxIdle(cfg.MaxIdle.Nanoseconds()))
 		}
+		if cfg.Backend == BackendMegaflow {
+			mfCap := cfg.MegaflowCapacity / cfg.Workers
+			if mfCap < 1 {
+				mfCap = 1
+			}
+			opts = append(opts, gigaflow.WithMegaflowBackend(mfCap))
+			// NewVSwitch still wants a valid Gigaflow shape before the
+			// option swaps the backend out.
+			perWorker = gigaflow.CacheConfig{NumTables: 1, TableCapacity: 1}
+		}
+		if cfg.MicroflowCapacity > 0 {
+			ufCap := cfg.MicroflowCapacity / cfg.Workers
+			if ufCap < 1 {
+				ufCap = 1
+			}
+			opts = append(opts, gigaflow.WithMicroflow(ufCap))
+		}
 		s.workers = append(s.workers, &worker{
-			vs: gigaflow.NewVSwitch(replica, perWorker, opts...),
-			in: make(chan packet, cfg.QueueDepth),
+			vs:    gigaflow.NewVSwitch(replica, perWorker, opts...),
+			in:    make(chan packet, cfg.QueueDepth),
+			label: fmt.Sprintf("%d", i),
 		})
 	}
 	return s, nil
@@ -136,10 +272,11 @@ func New(p *gigaflow.Pipeline, cfg Config) (*Service, error) {
 func (s *Service) Start(ctx context.Context) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.started {
+	if s.isStarted {
 		return errors.New("service: already started")
 	}
-	s.started = true
+	s.isStarted = true
+	s.started.Store(time.Now().UnixNano())
 	ctx, s.cancel = context.WithCancel(ctx)
 	for _, w := range s.workers {
 		s.done.Add(1)
@@ -148,6 +285,12 @@ func (s *Service) Start(ctx context.Context) error {
 	if s.cfg.MaxIdle > 0 {
 		s.done.Add(1)
 		go s.runExpiry(ctx)
+	}
+	if s.cfg.TelemetryAddr != "" {
+		if err := s.startTelemetry(s.cfg.TelemetryAddr); err != nil {
+			s.cancel()
+			return err
+		}
 	}
 	return nil
 }
@@ -187,6 +330,7 @@ func (s *Service) runExpiry(ctx context.Context) {
 				select {
 				case w.in <- packet{control: func() { w.vs.ExpireIdle(now) }}:
 				default:
+					w.skips.Add(1)
 				}
 			}
 		}
@@ -198,6 +342,7 @@ func (s *Service) runExpiry(ctx context.Context) {
 func (s *Service) Submit(ctx context.Context, k gigaflow.Key) (Result, error) {
 	w := s.workers[int(keyShard(k)%uint64(len(s.workers)))]
 	resp := make(chan Result, 1)
+	start := time.Now()
 	select {
 	case <-ctx.Done():
 		return Result{}, ctx.Err()
@@ -207,7 +352,24 @@ func (s *Service) Submit(ctx context.Context, k gigaflow.Key) (Result, error) {
 	case <-ctx.Done():
 		return Result{}, ctx.Err()
 	case r := <-resp:
+		s.latency.Observe(float64(time.Since(start).Nanoseconds()))
 		return r, r.Err
+	}
+}
+
+// TrySubmit enqueues a packet without blocking: it reports false — and
+// counts a queue-full drop against the target worker — when that worker's
+// queue is full, the overload behaviour of a real NIC rx ring. resp may be
+// nil for fire-and-forget; otherwise it must have capacity for the result
+// (the worker's send is blocking).
+func (s *Service) TrySubmit(k gigaflow.Key, resp chan<- Result) bool {
+	w := s.workers[int(keyShard(k)%uint64(len(s.workers)))]
+	select {
+	case w.in <- packet{key: k, resp: resp}:
+		return true
+	default:
+		w.drops.Add(1)
+		return false
 	}
 }
 
@@ -308,15 +470,20 @@ func (s *Service) CacheEntries() int {
 	return total
 }
 
-// Close stops the workers and waits for them to exit.
+// Close stops the workers, the telemetry server, and waits for them to
+// exit.
 func (s *Service) Close() error {
 	s.mu.Lock()
-	if !s.started || s.closed {
+	if !s.isStarted || s.closed {
 		s.mu.Unlock()
 		return errors.New("service: not running")
 	}
 	s.closed = true
+	tsrv := s.tsrv
 	s.mu.Unlock()
+	if tsrv != nil {
+		tsrv.stop()
+	}
 	s.cancel()
 	s.done.Wait()
 	return nil

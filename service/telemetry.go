@@ -1,0 +1,263 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"time"
+
+	"gigaflow"
+	"gigaflow/internal/telemetry"
+)
+
+// collectTimeout bounds how long a scrape waits for worker goroutines to
+// snapshot their caches; a wedged worker yields a stale (but served)
+// scrape rather than a hung one.
+const collectTimeout = 2 * time.Second
+
+// Registry returns the service's metrics registry. Counters and gauges
+// mirroring worker-owned cache state are refreshed on every /metrics,
+// /cache, or Collect call; registry reads are always safe.
+func (s *Service) Registry() *telemetry.Registry { return s.reg }
+
+// Tracer returns the service's traversal tracer (shared by all workers).
+// Sampling can be retuned at runtime with Tracer().SetSampling.
+func (s *Service) Tracer() *telemetry.Tracer { return s.tracer }
+
+// Collect refreshes the registry from every worker's cache state, on the
+// workers' own goroutines (cache internals are single-threaded). The
+// HTTP handlers call this before rendering; expose it for embedders that
+// scrape the registry directly.
+func (s *Service) Collect(ctx context.Context) error {
+	done := make(chan struct{}, len(s.workers))
+	submitted := 0
+	for _, w := range s.workers {
+		w := w
+		op := packet{control: func() {
+			w.vs.CollectMetrics(s.reg, w.label)
+			done <- struct{}{}
+		}}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case w.in <- op:
+			submitted++
+		}
+	}
+	for i := 0; i < submitted; i++ {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-done:
+		}
+	}
+	s.collectServiceMetrics()
+	return nil
+}
+
+// collectServiceMetrics refreshes service-owned gauges readable from any
+// goroutine: queue state, drop counters, tracer and uptime stats.
+func (s *Service) collectServiceMetrics() {
+	depth := s.reg.GaugeVec("gigaflow_queue_depth",
+		"Packets waiting in the worker's input queue.", "worker")
+	capacity := s.reg.GaugeVec("gigaflow_queue_capacity",
+		"Worker input queue length limit.", "worker")
+	drops := s.reg.CounterVec("gigaflow_queue_full_drops_total",
+		"TrySubmit packets dropped because the worker queue was full.", "worker")
+	skips := s.reg.CounterVec("gigaflow_expiry_skips_total",
+		"Idle-expiry sweeps skipped because the worker queue was full.", "worker")
+	for _, w := range s.workers {
+		depth.With(w.label).Set(float64(len(w.in)))
+		capacity.With(w.label).Set(float64(cap(w.in)))
+		drops.With(w.label).Set(w.drops.Load())
+		skips.With(w.label).Set(w.skips.Load())
+	}
+	s.reg.Gauge("gigaflow_workers", "Forwarding workers.").Set(float64(len(s.workers)))
+	s.reg.Counter("gigaflow_traces_sampled_total",
+		"Traversal traces recorded by the sampler.").Set(s.tracer.Sampled())
+	if t := s.started.Load(); t > 0 {
+		s.reg.Gauge("gigaflow_uptime_seconds", "Seconds since Start.").
+			Set(time.Since(time.Unix(0, t)).Seconds())
+	}
+}
+
+// workerTelemetry is one worker's slice of the /cache introspection
+// document.
+type workerTelemetry struct {
+	Worker     string `json:"worker"`
+	QueueDepth int    `json:"queue_depth"`
+	QueueCap   int    `json:"queue_capacity"`
+	Drops      uint64 `json:"queue_full_drops"`
+	gigaflow.VSwitchTelemetry
+}
+
+// cacheTelemetry snapshots every worker's cache hierarchy on the workers'
+// own goroutines.
+func (s *Service) cacheTelemetry(ctx context.Context) ([]workerTelemetry, error) {
+	out := make([]workerTelemetry, len(s.workers))
+	done := make(chan struct{}, len(s.workers))
+	submitted := 0
+	for i, w := range s.workers {
+		i, w := i, w
+		op := packet{control: func() {
+			out[i] = workerTelemetry{
+				Worker:           w.label,
+				QueueDepth:       len(w.in),
+				QueueCap:         cap(w.in),
+				Drops:            w.drops.Load(),
+				VSwitchTelemetry: w.vs.Telemetry(),
+			}
+			done <- struct{}{}
+		}}
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case w.in <- op:
+			submitted++
+		}
+	}
+	for i := 0; i < submitted; i++ {
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-done:
+		}
+	}
+	return out, nil
+}
+
+// TelemetryHandler returns the introspection mux:
+//
+//	/metrics     Prometheus text (?format=json for JSON)
+//	/traces      recent sampled traversal traces (?n= caps the count)
+//	/cache       per-worker, per-table cache occupancy and counters
+//	/debug/pprof net/http/pprof profiles
+//	/debug/vars  expvar
+func (s *Service) TelemetryHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		fmt.Fprint(w, `<html><body><h1>gigaflow telemetry</h1><ul>
+<li><a href="/metrics">/metrics</a> (Prometheus; <a href="/metrics?format=json">json</a>)</li>
+<li><a href="/traces">/traces</a></li>
+<li><a href="/cache">/cache</a></li>
+<li><a href="/debug/pprof/">/debug/pprof/</a></li>
+<li><a href="/debug/vars">/debug/vars</a></li>
+</ul></body></html>`)
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		ctx, cancel := context.WithTimeout(r.Context(), collectTimeout)
+		defer cancel()
+		// A failed collect (wedged queue, shutdown race) still serves the
+		// registry's last values — stale beats unavailable for a scrape.
+		_ = s.Collect(ctx)
+		s.reg.Handler().ServeHTTP(w, r)
+	})
+	mux.HandleFunc("/traces", func(w http.ResponseWriter, r *http.Request) {
+		n := 0
+		if q := r.URL.Query().Get("n"); q != "" {
+			n, _ = strconv.Atoi(q)
+		}
+		traces := s.tracer.Recent(n)
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(struct {
+			SampleEvery int               `json:"sample_every"`
+			Sampled     uint64            `json:"sampled_total"`
+			Traces      []telemetry.Trace `json:"traces"`
+		}{s.tracer.SampleEvery(), s.tracer.Sampled(), traces})
+	})
+	mux.HandleFunc("/cache", func(w http.ResponseWriter, r *http.Request) {
+		ctx, cancel := context.WithTimeout(r.Context(), collectTimeout)
+		defer cancel()
+		workers, err := s.cacheTelemetry(ctx)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(struct {
+			Backend string            `json:"backend"`
+			Workers []workerTelemetry `json:"workers"`
+		}{s.cfg.Backend.String(), workers})
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	return mux
+}
+
+// telemetryServer owns the HTTP listener started from Config.TelemetryAddr.
+type telemetryServer struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+func (t *telemetryServer) stop() {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	_ = t.srv.Shutdown(ctx)
+}
+
+// startTelemetry begins serving the introspection endpoints on addr;
+// called from Start when Config.TelemetryAddr is set.
+func (s *Service) startTelemetry(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("service: telemetry listener: %w", err)
+	}
+	srv := &http.Server{Handler: s.TelemetryHandler()}
+	s.tsrv = &telemetryServer{ln: ln, srv: srv}
+	s.done.Add(1)
+	go func() {
+		defer s.done.Done()
+		_ = srv.Serve(ln) // ErrServerClosed on shutdown
+	}()
+	return nil
+}
+
+// TelemetryAddr reports the bound introspection address (useful with a
+// ":0" Config.TelemetryAddr), or "" when telemetry is not being served.
+func (s *Service) TelemetryAddr() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.tsrv == nil {
+		return ""
+	}
+	return s.tsrv.ln.Addr().String()
+}
+
+// ServeTelemetry serves the introspection endpoints on a caller-provided
+// listener, blocking until the listener fails or Close shuts the server
+// down. It is the manual alternative to Config.TelemetryAddr for embedders
+// that manage their own listeners.
+func (s *Service) ServeTelemetry(ln net.Listener) error {
+	srv := &http.Server{Handler: s.TelemetryHandler()}
+	s.mu.Lock()
+	if s.tsrv != nil {
+		s.mu.Unlock()
+		return fmt.Errorf("service: telemetry already serving on %s", s.tsrv.ln.Addr())
+	}
+	s.tsrv = &telemetryServer{ln: ln, srv: srv}
+	s.mu.Unlock()
+	err := srv.Serve(ln)
+	if err == http.ErrServerClosed {
+		return nil
+	}
+	return err
+}

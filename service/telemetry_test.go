@@ -1,0 +1,339 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"gigaflow"
+)
+
+func TestConfigValidation(t *testing.T) {
+	p := buildPipeline()
+	cases := []struct {
+		name string
+		cfg  Config
+		want string // substring of the error; "" means valid
+	}{
+		{"zero value ok", Config{}, ""},
+		{"negative workers", Config{Workers: -1}, "Workers"},
+		{"negative queue", Config{QueueDepth: -5}, "QueueDepth"},
+		{"negative maxidle", Config{MaxIdle: -time.Second}, "MaxIdle"},
+		{"expiry without maxidle", Config{ExpireEvery: time.Second}, "MaxIdle is 0"},
+		{"negative microflow", Config{MicroflowCapacity: -1}, "MicroflowCapacity"},
+		{"negative trace sample", Config{TraceSample: -1}, "TraceSample"},
+		{"megaflow cap on gigaflow backend", Config{MegaflowCapacity: 100}, "BackendGigaflow"},
+		{"gigaflow cache on megaflow backend",
+			Config{Backend: BackendMegaflow, Cache: gigaflow.CacheConfig{NumTables: 4}},
+			"BackendMegaflow"},
+		{"negative gigaflow shape",
+			Config{Cache: gigaflow.CacheConfig{NumTables: -1}}, "cache shape"},
+		{"negative megaflow cap",
+			Config{Backend: BackendMegaflow, MegaflowCapacity: -1}, "MegaflowCapacity"},
+		{"unknown backend", Config{Backend: Backend(99)}, "unknown Backend"},
+		{"megaflow backend ok", Config{Backend: BackendMegaflow, MegaflowCapacity: 1024}, ""},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			s, err := New(p, c.cfg)
+			if c.want == "" {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				_ = s
+				return
+			}
+			if err == nil {
+				t.Fatalf("config %+v accepted, want error containing %q", c.cfg, c.want)
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Errorf("error %q does not mention %q", err, c.want)
+			}
+		})
+	}
+}
+
+func TestMegaflowBackend(t *testing.T) {
+	s, err := New(buildPipeline(), Config{
+		Workers:          2,
+		Backend:          BackendMegaflow,
+		MegaflowCapacity: 1024,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if err := s.Start(ctx); err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if _, err := s.Submit(ctx, key(1, 80)); err != nil {
+		t.Fatal(err)
+	}
+	r, err := s.Submit(ctx, key(1, 80))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.CacheHit {
+		t.Error("second identical packet should hit the megaflow cache")
+	}
+}
+
+func startTelemetryService(t *testing.T, cfg Config) (*Service, string) {
+	t.Helper()
+	cfg.TelemetryAddr = "127.0.0.1:0"
+	s, err := New(buildPipeline(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	addr := s.TelemetryAddr()
+	if addr == "" {
+		t.Fatal("TelemetryAddr empty after Start")
+	}
+	return s, "http://" + addr
+}
+
+func httpGet(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %s", url, resp.Status)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(body)
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	s, base := startTelemetryService(t, Config{
+		Workers:           2,
+		Cache:             gigaflow.CacheConfig{NumTables: 3, TableCapacity: 3 * 256},
+		MicroflowCapacity: 64,
+	})
+	ctx := context.Background()
+	for i := 0; i < 20; i++ {
+		if _, err := s.Submit(ctx, key(uint64(i%4), 80)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	out := httpGet(t, base+"/metrics")
+	wants := []string{
+		"# TYPE gigaflow_packets_total counter",
+		`gigaflow_packets_total{worker="0"}`,
+		`gigaflow_packets_total{worker="1"}`,
+		"gigaflow_cache_hits_total",
+		"gigaflow_cache_misses_total",
+		"gigaflow_microflow_hits_total",
+		"gigaflow_slowpath_traversals_total",
+		`gigaflow_table_hits_total{worker="0",table="0"}`,
+		`gigaflow_table_occupancy{worker="0",table="0"}`,
+		"gigaflow_queue_depth",
+		"gigaflow_queue_capacity",
+		"gigaflow_workers 2",
+		"gigaflow_uptime_seconds",
+		"gigaflow_submit_latency_ns_count",
+		"gigaflow_microflow_entries",
+	}
+	for _, want := range wants {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in /metrics output", want)
+		}
+	}
+
+	// The 20 submits must be fully accounted for across the two workers.
+	var total uint64
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "gigaflow_packets_total{") {
+			var v uint64
+			if _, err := fmt.Sscanf(line[strings.LastIndex(line, " ")+1:], "%d", &v); err == nil {
+				total += v
+			}
+		}
+	}
+	if total != 20 {
+		t.Errorf("gigaflow_packets_total sums to %d, want 20", total)
+	}
+
+	// JSON exposition.
+	jout := httpGet(t, base+"/metrics?format=json")
+	var fams []struct {
+		Name string `json:"name"`
+		Type string `json:"type"`
+	}
+	if err := json.Unmarshal([]byte(jout), &fams); err != nil {
+		t.Fatalf("metrics JSON: %v", err)
+	}
+	names := map[string]bool{}
+	for _, f := range fams {
+		names[f.Name] = true
+	}
+	if !names["gigaflow_packets_total"] || !names["gigaflow_submit_latency_ns"] {
+		t.Errorf("JSON families missing: %v", names)
+	}
+}
+
+func TestTracesEndpoint(t *testing.T) {
+	s, base := startTelemetryService(t, Config{
+		Workers:     1,
+		Cache:       gigaflow.CacheConfig{NumTables: 3, TableCapacity: 3 * 256},
+		TraceSample: 1, // trace every packet
+		TraceBuffer: 16,
+	})
+	ctx := context.Background()
+	for i := 0; i < 5; i++ {
+		if _, err := s.Submit(ctx, key(1, 80)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	out := httpGet(t, base+"/traces?n=3")
+	var doc struct {
+		SampleEvery int `json:"sample_every"`
+		Sampled     int `json:"sampled_total"`
+		Traces      []struct {
+			Key      string `json:"key"`
+			CacheHit bool   `json:"cache_hit"`
+			Stages   []struct {
+				Name string `json:"name"`
+				Hit  bool   `json:"hit"`
+			} `json:"stages"`
+		} `json:"traces"`
+	}
+	if err := json.Unmarshal([]byte(out), &doc); err != nil {
+		t.Fatalf("traces JSON: %v\n%s", err, out)
+	}
+	if doc.SampleEvery != 1 || doc.Sampled != 5 {
+		t.Errorf("sample_every=%d sampled=%d, want 1 and 5", doc.SampleEvery, doc.Sampled)
+	}
+	if len(doc.Traces) != 3 {
+		t.Fatalf("got %d traces, want 3 (n=3)", len(doc.Traces))
+	}
+	// Newest first: the last packets are cache hits with a gigaflow stage.
+	newest := doc.Traces[0]
+	if !newest.CacheHit || newest.Key == "" {
+		t.Errorf("newest trace = %+v", newest)
+	}
+	found := false
+	for _, st := range newest.Stages {
+		if st.Name == "gigaflow" && st.Hit {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no gigaflow hit stage in %+v", newest.Stages)
+	}
+}
+
+func TestCacheEndpoint(t *testing.T) {
+	s, base := startTelemetryService(t, Config{
+		Workers: 2,
+		Cache:   gigaflow.CacheConfig{NumTables: 3, TableCapacity: 3 * 256},
+	})
+	ctx := context.Background()
+	for i := 0; i < 10; i++ {
+		if _, err := s.Submit(ctx, key(uint64(i), 80)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	out := httpGet(t, base+"/cache")
+	var doc struct {
+		Backend string `json:"backend"`
+		Workers []struct {
+			Worker   string `json:"worker"`
+			QueueCap int    `json:"queue_capacity"`
+			Stats    struct {
+				Packets uint64 `json:"packets"`
+			} `json:"stats"`
+			Gigaflow *struct {
+				Len    int `json:"len"`
+				Tables []struct {
+					Index    int `json:"index"`
+					Capacity int `json:"capacity"`
+				} `json:"tables"`
+			} `json:"gigaflow"`
+		} `json:"workers"`
+	}
+	if err := json.Unmarshal([]byte(out), &doc); err != nil {
+		t.Fatalf("cache JSON: %v\n%s", err, out)
+	}
+	if doc.Backend != "gigaflow" || len(doc.Workers) != 2 {
+		t.Fatalf("backend=%q workers=%d", doc.Backend, len(doc.Workers))
+	}
+	var packets uint64
+	for _, w := range doc.Workers {
+		packets += w.Stats.Packets
+		if w.Gigaflow == nil {
+			t.Fatalf("worker %s missing gigaflow snapshot", w.Worker)
+		}
+		if len(w.Gigaflow.Tables) != 3 {
+			t.Errorf("worker %s has %d tables, want 3", w.Worker, len(w.Gigaflow.Tables))
+		}
+		if w.QueueCap != 1024 {
+			t.Errorf("worker %s queue cap = %d", w.Worker, w.QueueCap)
+		}
+	}
+	if packets != 10 {
+		t.Errorf("total packets = %d, want 10", packets)
+	}
+}
+
+func TestDebugEndpointsServed(t *testing.T) {
+	_, base := startTelemetryService(t, Config{})
+	if out := httpGet(t, base+"/debug/vars"); !strings.Contains(out, "memstats") {
+		t.Error("/debug/vars missing expvar memstats")
+	}
+	if out := httpGet(t, base+"/debug/pprof/"); !strings.Contains(out, "goroutine") {
+		t.Error("/debug/pprof/ index missing goroutine profile")
+	}
+	if out := httpGet(t, base+"/"); !strings.Contains(out, "/metrics") {
+		t.Error("index page missing /metrics link")
+	}
+}
+
+func TestTrySubmitDropsCounted(t *testing.T) {
+	s, err := New(buildPipeline(), Config{Workers: 1, QueueDepth: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Not started: the worker drains nothing, so the second TrySubmit to
+	// the same (only) worker must fail.
+	if !s.TrySubmit(key(1, 80), nil) {
+		t.Fatal("first TrySubmit should fit the queue")
+	}
+	if s.TrySubmit(key(1, 80), nil) {
+		t.Fatal("second TrySubmit should be dropped")
+	}
+	if got := s.workers[0].drops.Load(); got != 1 {
+		t.Errorf("drops = %d, want 1", got)
+	}
+}
+
+func TestServeTelemetryConflict(t *testing.T) {
+	s, _ := startTelemetryService(t, Config{})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	if err := s.ServeTelemetry(ln); err == nil {
+		t.Error("ServeTelemetry must refuse a second server")
+	}
+}

@@ -6,6 +6,7 @@ import (
 	gfcache "gigaflow/internal/gigaflow"
 	"gigaflow/internal/megaflow"
 	"gigaflow/internal/microflow"
+	"gigaflow/internal/telemetry"
 )
 
 // VSwitch couples a hardware flow cache with the software slowpath: the
@@ -24,26 +25,47 @@ type VSwitch struct {
 	uf   *microflow.Cache // optional exact-match first level
 
 	maxIdle int64
+	tracer  *telemetry.Tracer // optional traversal tracer (sampled)
 	stats   VSwitchStats
 }
 
 // VSwitchStats counts end-to-end events.
+//
+// The cache hierarchy has two levels, counted separately: MicroflowHits
+// are exact-match first-level hits, CacheHits are main-cache (Gigaflow or
+// Megaflow) hits. Every packet is exactly one of MicroflowHits, CacheHits,
+// or CacheMisses.
 type VSwitchStats struct {
-	Packets       uint64
-	MicroflowHits uint64 // exact-match first-level hits (if enabled)
-	CacheHits     uint64
-	CacheMisses   uint64
-	Slowpath      uint64 // traversals executed
-	Installs      uint64
-	InstallErrs   uint64
+	Packets       uint64 `json:"packets"`
+	MicroflowHits uint64 `json:"microflow_hits"` // exact-match first-level hits (if enabled)
+	CacheHits     uint64 `json:"cache_hits"`     // main-cache hits (excludes microflow)
+	CacheMisses   uint64 `json:"cache_misses"`
+	Slowpath      uint64 `json:"slowpath"` // traversals executed
+	Installs      uint64 `json:"installs"`
+	InstallErrs   uint64 `json:"install_errs"`
 }
 
-// HitRate reports CacheHits/Packets.
+// HitRate reports the main cache's hit rate over the packets that reached
+// it: CacheHits / (CacheHits + CacheMisses). Packets absorbed by the
+// Microflow tier never consult the main cache and are excluded; use
+// TotalHitRate for the combined hierarchy rate the paper reports.
 func (s *VSwitchStats) HitRate() float64 {
+	total := s.CacheHits + s.CacheMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.CacheHits) / float64(total)
+}
+
+// TotalHitRate reports the combined cache-hierarchy hit rate over all
+// packets: (MicroflowHits + CacheHits) / Packets. This is the rate the
+// paper's end-to-end figures quote; without a Microflow tier it equals
+// HitRate.
+func (s *VSwitchStats) TotalHitRate() float64 {
 	if s.Packets == 0 {
 		return 0
 	}
-	return float64(s.CacheHits) / float64(s.Packets)
+	return float64(s.MicroflowHits+s.CacheHits) / float64(s.Packets)
 }
 
 // VSwitchOption configures a VSwitch.
@@ -70,6 +92,16 @@ func WithMegaflowBackend(capacity int) VSwitchOption {
 // no wildcard to recheck incrementally.
 func WithMicroflow(capacity int) VSwitchOption {
 	return func(v *VSwitch) { v.uf = microflow.New(capacity) }
+}
+
+// WithTracer attaches a sampling traversal tracer: 1-in-N processed
+// packets record every stage they touch (microflow lookup, per-LTM-table
+// matches, slowpath traversal, rule installation) with per-stage
+// nanosecond timings into the tracer's ring. Unsampled packets pay one
+// atomic increment; a nil tracer (or sampling disabled) costs a single
+// branch and no allocation.
+func WithTracer(t *telemetry.Tracer) VSwitchOption {
+	return func(v *VSwitch) { v.tracer = t }
 }
 
 // NewVSwitch builds a vSwitch around a pipeline with a Gigaflow cache of
@@ -105,48 +137,112 @@ type ProcessResult struct {
 
 // Process handles one packet at virtual time now (nanoseconds): Microflow
 // exact-match (if enabled), main cache lookup, slowpath on miss, rule
-// installation.
+// installation. With a tracer attached (WithTracer), sampled packets
+// record each stage with wall-clock timings; the tb == nil branches below
+// are the entire fast-path cost when tracing is off.
 func (v *VSwitch) Process(k Key, now int64) (ProcessResult, error) {
 	v.stats.Packets++
+	var tb *telemetry.TraceBuilder
+	if v.tracer != nil {
+		if tb = v.tracer.Start(); tb != nil {
+			tb.SetKey(k.String())
+		}
+	}
 	if v.uf != nil {
-		if e, ok := v.uf.Lookup(k, now); ok {
+		if tb != nil {
+			tb.Begin("microflow")
+		}
+		e, ok := v.uf.Lookup(k, now)
+		if tb != nil {
+			tb.End(ok)
+		}
+		if ok {
 			v.stats.MicroflowHits++
-			v.stats.CacheHits++
+			if tb != nil {
+				tb.Finish(e.Verdict.String(), true, true, nil)
+			}
 			return ProcessResult{Verdict: e.Verdict, Final: e.Final, CacheHit: true, MicroflowHit: true}, nil
 		}
 	}
 	if v.gf != nil {
-		if res := v.gf.Lookup(k, now); res.Hit {
+		if tb != nil {
+			tb.Begin("gigaflow")
+		}
+		res := v.gf.Lookup(k, now)
+		if tb != nil {
+			tb.End(res.Hit)
+			for _, e := range res.Path {
+				tb.Note("ltm-table", e.TableIndex(), e.Tag, e.Priority)
+			}
+		}
+		if res.Hit {
 			v.stats.CacheHits++
 			v.memoize(k, res.Final, res.Verdict, now)
+			if tb != nil {
+				tb.Finish(res.Verdict.String(), true, false, nil)
+			}
 			return ProcessResult{Verdict: res.Verdict, Final: res.Final, CacheHit: true}, nil
 		}
-	} else if e, ok := v.mf.Lookup(k, now); ok {
-		v.stats.CacheHits++
-		final, verdict := e.Apply(k)
-		v.memoize(k, final, verdict, now)
-		return ProcessResult{Verdict: verdict, Final: final, CacheHit: true}, nil
+	} else {
+		if tb != nil {
+			tb.Begin("megaflow")
+		}
+		e, ok := v.mf.Lookup(k, now)
+		if tb != nil {
+			tb.End(ok)
+		}
+		if ok {
+			v.stats.CacheHits++
+			final, verdict := e.Apply(k)
+			v.memoize(k, final, verdict, now)
+			if tb != nil {
+				tb.Finish(verdict.String(), true, false, nil)
+			}
+			return ProcessResult{Verdict: verdict, Final: final, CacheHit: true}, nil
+		}
 	}
 	v.stats.CacheMisses++
 	v.stats.Slowpath++
-	tr, err := v.pipe.Process(k)
-	if err != nil {
-		return ProcessResult{}, fmt.Errorf("gigaflow: slowpath: %w", err)
+	if tb != nil {
+		tb.Begin("slowpath")
 	}
+	tr, err := v.pipe.Process(k)
+	if tb != nil {
+		tb.End(err == nil)
+	}
+	if err != nil {
+		err = fmt.Errorf("gigaflow: slowpath: %w", err)
+		if tb != nil {
+			tb.Finish("", false, false, err)
+		}
+		return ProcessResult{}, err
+	}
+	if tb != nil {
+		tb.Begin("partition+install")
+	}
+	installed := true
 	if v.gf != nil {
 		if _, err := v.gf.Insert(tr, now); err != nil {
 			v.stats.InstallErrs++
+			installed = false
 		} else {
 			v.stats.Installs++
 		}
 	} else {
 		if e := v.mf.Insert(tr, now); e == nil {
 			v.stats.InstallErrs++
+			installed = false
 		} else {
 			v.stats.Installs++
 		}
 	}
+	if tb != nil {
+		tb.End(installed)
+	}
 	v.memoize(k, tr.FinalKey(), tr.Verdict, now)
+	if tb != nil {
+		tb.Finish(tr.Verdict.String(), false, false, nil)
+	}
 	return ProcessResult{Verdict: tr.Verdict, Final: tr.FinalKey()}, nil
 }
 
@@ -203,4 +299,110 @@ func (v *VSwitch) Coverage() uint64 {
 		return v.gf.Coverage()
 	}
 	return uint64(v.mf.Len())
+}
+
+// VSwitchTelemetry describes the vSwitch's counters and cache hierarchy
+// for the introspection endpoint: end-to-end stats plus a snapshot of
+// whichever cache levels are configured.
+type VSwitchTelemetry struct {
+	Backend   string              `json:"backend"` // "gigaflow" | "megaflow"
+	Stats     VSwitchStats        `json:"stats"`
+	Coverage  uint64              `json:"coverage"`
+	Gigaflow  *gfcache.Snapshot   `json:"gigaflow,omitempty"`
+	Megaflow  *megaflow.Snapshot  `json:"megaflow,omitempty"`
+	Microflow *microflow.Snapshot `json:"microflow,omitempty"`
+}
+
+// Telemetry captures the vSwitch's current introspection view. Like every
+// VSwitch method it must run on the goroutine driving the switch.
+func (v *VSwitch) Telemetry() VSwitchTelemetry {
+	t := VSwitchTelemetry{Stats: v.stats, Coverage: v.Coverage()}
+	if v.gf != nil {
+		t.Backend = "gigaflow"
+		s := v.gf.Snapshot()
+		t.Gigaflow = &s
+	} else {
+		t.Backend = "megaflow"
+		s := v.mf.Snapshot()
+		t.Megaflow = &s
+	}
+	if v.uf != nil {
+		s := v.uf.Snapshot()
+		t.Microflow = &s
+	}
+	return t
+}
+
+// CollectMetrics mirrors the vSwitch's counters, occupancy gauges, and
+// per-table statistics into reg under the given worker label, using the
+// metric names documented in README's Observability section. Registry
+// writes are atomic, but cache internals are not safe for concurrent
+// readers — call on the goroutine driving the switch (the service does
+// this on each worker's own goroutine at scrape time, so the fast path
+// carries no metric work at all).
+func (v *VSwitch) CollectMetrics(reg *telemetry.Registry, worker string) {
+	c := func(name, help string, val uint64) {
+		reg.CounterVec(name, help, "worker").With(worker).Set(val)
+	}
+	g := func(name, help string, val float64) {
+		reg.GaugeVec(name, help, "worker").With(worker).Set(val)
+	}
+	s := v.stats
+	c("gigaflow_packets_total", "Packets processed end to end.", s.Packets)
+	c("gigaflow_microflow_hits_total", "Exact-match first-level cache hits.", s.MicroflowHits)
+	c("gigaflow_cache_hits_total", "Main-cache (Gigaflow/Megaflow) hits.", s.CacheHits)
+	c("gigaflow_cache_misses_total", "Main-cache misses (slowpath punts).", s.CacheMisses)
+	c("gigaflow_slowpath_traversals_total", "Full pipeline traversals executed.", s.Slowpath)
+	c("gigaflow_installs_total", "Traversals compiled and installed into the cache.", s.Installs)
+	c("gigaflow_install_errors_total", "Traversals that could not be installed.", s.InstallErrs)
+	g("gigaflow_cache_entries", "Installed main-cache entries.", float64(v.CacheEntries()))
+	g("gigaflow_cache_coverage", "Rule-space coverage of the installed entries.", float64(v.Coverage()))
+
+	if v.gf != nil {
+		gs := v.gf.Stats()
+		c("gigaflow_cache_stalls_total", "Misses that matched a partial entry chain.", gs.Stalls)
+		c("gigaflow_shared_reuse_total", "Sub-traversal installs deduplicated against resident entries.", gs.SharedReuse)
+		c("gigaflow_conflicts_total", "Entries replaced due to same-predicate conflicts.", gs.Conflicts)
+		c("gigaflow_tables_probed_total", "LTM table consultations across lookups.", gs.TablesProbed)
+		c("gigaflow_tuple_probes_total", "TSS tuple probes across lookups.", gs.TupleProbes)
+		c("gigaflow_reval_work_total", "Pipeline table lookups spent revalidating.", gs.RevalWork)
+		g("gigaflow_cache_capacity", "Total main-cache entry capacity.", float64(v.gf.Capacity()))
+		tc := func(name, help string, table string, val uint64) {
+			reg.CounterVec(name, help, "worker", "table").With(worker, table).Set(val)
+		}
+		tg := func(name, help string, table string, val float64) {
+			reg.GaugeVec(name, help, "worker", "table").With(worker, table).Set(val)
+		}
+		for i := 0; i < v.gf.NumTables(); i++ {
+			ts := v.gf.TableSnapshot(i)
+			tl := fmt.Sprintf("%d", i)
+			tc("gigaflow_table_hits_total", "Entry matches in this LTM table.", tl, ts.Hits)
+			tc("gigaflow_table_inserts_total", "Entries created in this LTM table.", tl, ts.Inserts)
+			tg("gigaflow_table_occupancy", "Resident entries in this LTM table.", tl, float64(ts.Len))
+			tg("gigaflow_table_capacity", "Entry capacity of this LTM table.", tl, float64(ts.Capacity))
+			tg("gigaflow_table_tags", "Distinct pipeline-table tags resident in this LTM table.", tl, float64(ts.Tags))
+			te := func(reason string, val uint64) {
+				reg.CounterVec("gigaflow_table_evictions_total",
+					"Entries removed from this LTM table, by cause.",
+					"worker", "table", "reason").With(worker, tl, reason).Set(val)
+			}
+			te("lru", ts.EvictLRU)
+			te("expired", ts.Expired)
+			te("revoked", ts.Revoked)
+		}
+	} else {
+		ms := v.mf.Snapshot()
+		g("gigaflow_cache_capacity", "Total main-cache entry capacity.", float64(ms.Capacity))
+		g("gigaflow_megaflow_masks", "Distinct TSS tuples in the Megaflow cache.", float64(ms.Masks))
+		c("gigaflow_tuple_probes_total", "TSS tuple probes across lookups.", ms.TupleProbes)
+		c("gigaflow_reval_work_total", "Pipeline table lookups spent revalidating.", ms.RevalWork)
+	}
+
+	if v.uf != nil {
+		us := v.uf.Snapshot()
+		g("gigaflow_microflow_entries", "Resident exact-match entries.", float64(us.Len))
+		g("gigaflow_microflow_capacity", "Exact-match tier entry capacity.", float64(us.Capacity))
+		c("gigaflow_microflow_evictions_total", "Exact-match entries evicted by LRU.", us.EvictLRU)
+		c("gigaflow_microflow_invalidated_total", "Exact-match entries dropped by revalidation.", us.Invalid)
+	}
 }
