@@ -1,10 +1,11 @@
 GO ?= go
 
-.PHONY: ci build test race vet fmt-check bench
+.PHONY: ci build test race vet lint fmt-check bench
 
 ## ci: the standard verification gate — vet, build, race-enabled tests,
-## and a gofmt cleanliness check. Run before every commit.
-ci: vet build race fmt-check
+## the project linter, and a gofmt cleanliness check. Run before every
+## commit.
+ci: vet build race lint fmt-check
 
 build:
 	$(GO) build ./...
@@ -18,9 +19,18 @@ race:
 vet:
 	$(GO) vet ./...
 
+## lint: gflint, the project-specific analyzer suite (hotalloc, atomicmix,
+## lockdiscipline, detrand). Separate from vet so generic and
+## project-invariant failures are distinguishable.
+lint:
+	$(GO) run ./cmd/gflint ./...
+
+## fmt-check: testdata fixtures are excluded — they intentionally contain
+## findings and `// want` annotations laid out for the analyzer tests.
 fmt-check:
-	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+	@out=$$(find . -name '*.go' -not -path '*/testdata/*' | xargs gofmt -l); \
+	if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 bench:
-	$(GO) test -run xxx -bench . -benchmem .
+	$(GO) test -run xxx -bench . -benchmem ./...

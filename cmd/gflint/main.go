@@ -1,0 +1,118 @@
+// Command gflint runs Gigaflow's project-specific static-analysis suite:
+// hotalloc (//gf:hotpath functions stay allocation-free), atomicmix (no
+// mixed atomic/plain field access), lockdiscipline (locks released on all
+// paths, no channel ops under a lock), and detrand (simulation code uses
+// injected seeded randomness and virtual time only).
+//
+// Usage:
+//
+//	gflint [-C dir] [pattern ...]
+//
+// With no pattern (or the conventional "./..."), every package in the
+// module containing dir (default: the working directory) is analyzed.
+// Findings print as "file:line: [analyzer] message" and make the exit
+// status non-zero. Individual findings can be waived with a
+// "//gflint:ignore <analyzer> <reason>" comment on or directly above the
+// offending line.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"gigaflow/internal/analysis"
+)
+
+func main() {
+	dir := flag.String("C", ".", "analyze the module containing this directory")
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: gflint [-C dir] [-list] [pattern ...]\n\n")
+		fmt.Fprintf(os.Stderr, "Runs Gigaflow's invariant checks over every package in the module.\n")
+		fmt.Fprintf(os.Stderr, "Patterns other than \"./...\" select module-relative package directories.\n\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	analyzers := analysis.Analyzers()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	root, err := findModuleRoot(*dir)
+	if err != nil {
+		fatal(err)
+	}
+
+	var rels []string
+	for _, arg := range flag.Args() {
+		if arg == "./..." || arg == "..." {
+			rels = nil // whole module
+			break
+		}
+		// Relative patterns are relative to -C, like the go tool's.
+		abs := arg
+		if !filepath.IsAbs(abs) {
+			abs = filepath.Join(*dir, arg)
+		}
+		abs, err := filepath.Abs(abs)
+		if err != nil {
+			fatal(err)
+		}
+		rel, err := filepath.Rel(root, abs)
+		if err != nil || strings.HasPrefix(rel, "..") {
+			fatal(fmt.Errorf("gflint: %s is outside module %s", arg, root))
+		}
+		rels = append(rels, rel)
+	}
+
+	var prog *analysis.Program
+	if len(rels) == 0 {
+		prog, err = analysis.LoadModule(root)
+	} else {
+		prog, err = analysis.LoadDirs(root, rels...)
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	findings := analysis.Run(prog, analyzers)
+	for _, f := range findings {
+		name := f.Pos.Filename
+		if rel, err := filepath.Rel(root, name); err == nil && !strings.HasPrefix(rel, "..") {
+			name = rel
+		}
+		fmt.Printf("%s:%d: [%s] %s\n", name, f.Pos.Line, f.Analyzer, f.Message)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "gflint: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}
+
+// findModuleRoot walks upward from dir to the nearest go.mod.
+func findModuleRoot(dir string) (string, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for d := abs; ; d = filepath.Dir(d) {
+		if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+			return d, nil
+		}
+		if filepath.Dir(d) == d {
+			return "", fmt.Errorf("gflint: no go.mod found above %s", abs)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

@@ -1,0 +1,151 @@
+package analysis
+
+import (
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// loadFixture loads package directories from the fixture module under
+// testdata/src.
+func loadFixture(t *testing.T, dirs ...string) *Program {
+	t.Helper()
+	prog, err := LoadDirs(filepath.Join("testdata", "src"), dirs...)
+	if err != nil {
+		t.Fatalf("loading fixture %v: %v", dirs, err)
+	}
+	return prog
+}
+
+var wantRE = regexp.MustCompile(`want "([^"]*)"`)
+
+// collectWants extracts `// want "substr"` expectations from fixture
+// comments, keyed by file:line. A finding at that position must contain
+// the substring in its message; each expectation matches one finding.
+func collectWants(prog *Program) map[string][]string {
+	wants := make(map[string][]string)
+	for _, pkg := range prog.Pkgs {
+		for _, file := range pkg.Files {
+			for _, group := range file.Comments {
+				for _, c := range group.List {
+					for _, m := range wantRE.FindAllStringSubmatch(c.Text, -1) {
+						pos := prog.Fset.Position(c.Slash)
+						key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+						wants[key] = append(wants[key], m[1])
+					}
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// checkGolden diffs the analyzers' findings against the fixture's want
+// comments: every finding must be expected, every expectation must fire.
+func checkGolden(t *testing.T, prog *Program, analyzers []*Analyzer) {
+	t.Helper()
+	wants := collectWants(prog)
+	for _, f := range Run(prog, analyzers) {
+		key := fmt.Sprintf("%s:%d", f.Pos.Filename, f.Pos.Line)
+		matched := -1
+		for i, substr := range wants[key] {
+			if strings.Contains(f.Message, substr) {
+				matched = i
+				break
+			}
+		}
+		if matched < 0 {
+			t.Errorf("unexpected finding: %s", f)
+			continue
+		}
+		wants[key] = append(wants[key][:matched], wants[key][matched+1:]...)
+		if len(wants[key]) == 0 {
+			delete(wants, key)
+		}
+	}
+	for key, substrs := range wants {
+		for _, substr := range substrs {
+			t.Errorf("%s: expected finding containing %q, got none", key, substr)
+		}
+	}
+}
+
+func TestHotAllocFixture(t *testing.T) {
+	checkGolden(t, loadFixture(t, "hotalloc"), []*Analyzer{HotAlloc})
+}
+
+func TestAtomicMixFixture(t *testing.T) {
+	// Two packages loaded as one program: the atomic update site lives in
+	// fixture/atomicmix, one of the plain accesses in fixture/atomicmix/client.
+	checkGolden(t, loadFixture(t, "atomicmix", filepath.Join("atomicmix", "client")), []*Analyzer{AtomicMix})
+}
+
+func TestLockDisciplineFixture(t *testing.T) {
+	checkGolden(t, loadFixture(t, "lockdiscipline"), []*Analyzer{LockDiscipline})
+}
+
+func TestDetRandFixture(t *testing.T) {
+	// The scoped package's import path contains "internal/sim"; its
+	// sibling "outside" matches no scope fragment and must stay silent.
+	checkGolden(t, loadFixture(t,
+		filepath.Join("detrand", "internal", "sim"),
+		filepath.Join("detrand", "outside")), []*Analyzer{DetRand})
+}
+
+func TestSuppressFixture(t *testing.T) {
+	checkGolden(t, loadFixture(t, "suppress"), []*Analyzer{HotAlloc})
+}
+
+// TestMalformedIgnoreDirective pins down reason-less directives directly:
+// appending a want comment to the directive would become its reason and
+// make it well-formed, so this fixture cannot use golden comments.
+func TestMalformedIgnoreDirective(t *testing.T) {
+	prog := loadFixture(t, "badignore")
+	findings := Run(prog, []*Analyzer{HotAlloc})
+	if len(findings) != 2 {
+		t.Fatalf("got %d findings, want 2 (malformed directive + unwaived fmt call):\n%s",
+			len(findings), findingsText(findings))
+	}
+	if findings[0].Analyzer != "gflint" || !strings.Contains(findings[0].Message, "malformed") {
+		t.Errorf("finding 0 = %s, want a gflint malformed-directive finding", findings[0])
+	}
+	if findings[1].Analyzer != "hotalloc" || !strings.Contains(findings[1].Message, "fmt.Println") {
+		t.Errorf("finding 1 = %s, want the unwaived hotalloc finding", findings[1])
+	}
+}
+
+// TestModuleClean is `make lint` as a test: the whole module loads and
+// every analyzer runs with zero findings and zero suppressions in
+// non-test code.
+func TestModuleClean(t *testing.T) {
+	prog, err := LoadModule(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	if len(prog.Pkgs) == 0 {
+		t.Fatal("module loaded zero packages")
+	}
+	if findings := Run(prog, Analyzers()); len(findings) > 0 {
+		t.Errorf("module has %d finding(s):\n%s", len(findings), findingsText(findings))
+	}
+	for _, pkg := range prog.Pkgs {
+		for _, file := range pkg.Files {
+			for _, group := range file.Comments {
+				if hasDirective(group, ignoreDirective) {
+					t.Errorf("%s: //gflint:ignore in non-test module code; fix the finding instead",
+						prog.Fset.Position(group.Pos()))
+				}
+			}
+		}
+	}
+}
+
+func findingsText(fs []Finding) string {
+	var b strings.Builder
+	for _, f := range fs {
+		fmt.Fprintf(&b, "  %s\n", f.String())
+	}
+	return b.String()
+}

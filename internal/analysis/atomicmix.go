@@ -1,0 +1,106 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AtomicMix enforces the worker-counter contract: a struct field that is
+// accessed through sync/atomic anywhere in the module must be accessed
+// atomically everywhere. A single plain read or write racing an atomic
+// update is undefined behaviour the race detector only catches when a
+// test happens to interleave it; this check catches it statically, across
+// packages (telemetry counters, service worker stats, cache counters are
+// all mirrored between goroutines via control packets or scrapes).
+//
+// Fields of the atomic.Int64/Uint64/... wrapper types are safe by
+// construction (their word is unexported) and are not tracked.
+var AtomicMix = &Analyzer{
+	Name: "atomicmix",
+	Doc:  "a field accessed via sync/atomic anywhere must be accessed atomically everywhere",
+	Run:  runAtomicMix,
+}
+
+func runAtomicMix(prog *Program, report Reporter) {
+	// Pass 1: collect fields passed by address to sync/atomic functions,
+	// and the selector nodes making up those sanctioned accesses. Object
+	// identity holds across packages because the whole program is loaded
+	// through one loader.
+	atomicFields := make(map[*types.Var]ast.Expr) // field -> one atomic-use site
+	sanctioned := make(map[*ast.SelectorExpr]bool)
+	for _, pkg := range prog.Pkgs {
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				obj := calleeObject(pkg.Info, call)
+				if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "sync/atomic" {
+					return true
+				}
+				for _, arg := range call.Args {
+					un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+					if !ok || un.Op != token.AND {
+						continue
+					}
+					sel, ok := ast.Unparen(un.X).(*ast.SelectorExpr)
+					if !ok {
+						continue
+					}
+					if f := fieldObject(pkg.Info, sel); f != nil {
+						atomicFields[f] = sel
+						sanctioned[sel] = true
+					}
+				}
+				return true
+			})
+		}
+	}
+	if len(atomicFields) == 0 {
+		return
+	}
+	// Pass 2: any other access to those fields is a plain (racy) access.
+	for _, pkg := range prog.Pkgs {
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok || sanctioned[sel] {
+					return true
+				}
+				s, ok := pkg.Info.Selections[sel]
+				if !ok || s.Kind() != types.FieldVal {
+					return true
+				}
+				f := s.Obj().(*types.Var)
+				if _, mixed := atomicFields[f]; mixed {
+					report(sel.Pos(), "plain access to field %s.%s, which is updated via sync/atomic at %s; every access must be atomic",
+						recvName(s.Recv()), f.Name(), prog.Fset.Position(atomicFields[f].Pos()))
+				}
+				return true
+			})
+		}
+	}
+}
+
+// fieldObject resolves a selector to the struct field it reads or writes
+// (nil for methods, package selectors, and qualified identifiers).
+func fieldObject(info *types.Info, sel *ast.SelectorExpr) *types.Var {
+	s, ok := info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil
+	}
+	return s.Obj().(*types.Var)
+}
+
+// recvName names the receiver type of a field selection, pointers peeled.
+func recvName(t types.Type) string {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return t.String()
+}

@@ -1,0 +1,103 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// DetRand enforces replay determinism in the simulation layers: the
+// paper's tables are regenerated from fixed-seed runs, so two runs with
+// the same seed must be bit-for-bit identical. Inside the scoped packages
+// (the simulator, the Gigaflow cache and partitioner, the ClassBench
+// generator, and the traffic model) non-test code may not call:
+//
+//   - math/rand's package-level functions (Intn, Float64, Perm, Shuffle,
+//     ...), which draw from the shared global source. Randomness must
+//     flow through an injected, seedable *rand.Rand; the constructors
+//     rand.New, rand.NewSource, and rand.NewZipf build exactly those and
+//     stay legal.
+//
+//   - time.Now / time.Since, which leak wall-clock into results.
+//     Simulations run on virtual time threaded through their callers.
+var DetRand = &Analyzer{
+	Name: "detrand",
+	Doc:  "simulation code must use injected seeded randomness and virtual time",
+	Run:  runDetRand,
+}
+
+// detRandScopes are the import-path fragments whose packages must be
+// deterministic. Matching on fragments rather than exact paths keeps the
+// analyzer honest under test fixtures, which mirror these suffixes.
+var detRandScopes = []string{
+	"internal/sim",
+	"internal/gigaflow",
+	"internal/classbench",
+	"internal/traffic",
+}
+
+// detRandAllowed are math/rand package-level constructors of injectable
+// sources, the one sanctioned way to obtain randomness.
+var detRandAllowed = map[string]bool{
+	"New":       true,
+	"NewSource": true,
+	"NewZipf":   true,
+}
+
+func runDetRand(prog *Program, report Reporter) {
+	for _, pkg := range prog.Pkgs {
+		if !detRandInScope(pkg.Path) {
+			continue
+		}
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				pkgPath, ok := packageQualifier(pkg.Info, sel)
+				if !ok {
+					return true
+				}
+				// Only uses of package-level functions matter: type
+				// references (*rand.Rand in a signature) are exactly how
+				// injected randomness is threaded, and constants are inert.
+				if _, isFunc := pkg.Info.Uses[sel.Sel].(*types.Func); !isFunc {
+					return true
+				}
+				switch {
+				case pkgPath == "math/rand" || pkgPath == "math/rand/v2":
+					if !detRandAllowed[sel.Sel.Name] {
+						report(sel.Pos(), "global math/rand.%s draws from the process-wide source and breaks fixed-seed replay; thread an injected *rand.Rand through the constructor or config", sel.Sel.Name)
+					}
+				case pkgPath == "time" && (sel.Sel.Name == "Now" || sel.Sel.Name == "Since"):
+					report(sel.Pos(), "time.%s leaks wall-clock into simulation results; thread virtual time through the caller", sel.Sel.Name)
+				}
+				return true
+			})
+		}
+	}
+}
+
+func detRandInScope(path string) bool {
+	for _, s := range detRandScopes {
+		if strings.Contains(path, s) {
+			return true
+		}
+	}
+	return false
+}
+
+// packageQualifier reports the import path when a selector's X is a
+// package name (rand.Intn, time.Now), as opposed to a value selector.
+func packageQualifier(info *types.Info, sel *ast.SelectorExpr) (string, bool) {
+	id, ok := ast.Unparen(sel.X).(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	pn, ok := info.Uses[id].(*types.PkgName)
+	if !ok {
+		return "", false
+	}
+	return pn.Imported().Path(), true
+}

@@ -1,0 +1,34 @@
+// Package atomicmix is a gflint fixture: Hits is updated through
+// sync/atomic, so every other access to it — including ones from other
+// packages (see client) — must be atomic too.
+package atomicmix
+
+import "sync/atomic"
+
+// Counters mixes a raw uint64 driven via sync/atomic (Hits), a raw
+// uint64 that is never touched atomically (Drops), and an atomic wrapper
+// type (Safe), which is exempt by construction.
+type Counters struct {
+	Hits  uint64
+	Drops uint64
+	Safe  atomic.Uint64
+}
+
+// Record is the sanctioned update path.
+func (c *Counters) Record() {
+	atomic.AddUint64(&c.Hits, 1)
+	c.Safe.Add(1)
+}
+
+// Broken reads and writes Hits without atomics.
+func (c *Counters) Broken() uint64 {
+	c.Hits++      // want "plain access to field Counters.Hits"
+	return c.Hits // want "plain access to field Counters.Hits"
+}
+
+// Fine: Drops has no atomic access anywhere, and loads of Hits through
+// sync/atomic are sanctioned.
+func (c *Counters) Fine() uint64 {
+	c.Drops++
+	return atomic.LoadUint64(&c.Hits)
+}

@@ -1,0 +1,10 @@
+// Package client proves atomicmix sees across package boundaries: the
+// field is made atomic in package atomicmix, the plain access lives here.
+package client
+
+import "fixture/atomicmix"
+
+// Reload reads the counter plainly from another package entirely.
+func Reload(c *atomicmix.Counters) uint64 {
+	return c.Hits // want "plain access to field Counters.Hits"
+}

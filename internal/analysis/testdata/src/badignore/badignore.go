@@ -1,0 +1,14 @@
+// Package badignore is a gflint fixture for malformed suppression
+// directives: an //gflint:ignore without a reason must be reported and
+// must not waive the finding under it. Checked by a direct test rather
+// than want comments, since any text appended to the directive would
+// become its reason and make it well-formed.
+package badignore
+
+import "fmt"
+
+//gf:hotpath
+func missingReason() {
+	//gflint:ignore hotalloc
+	fmt.Println("no")
+}

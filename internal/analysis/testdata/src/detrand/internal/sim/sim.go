@@ -1,0 +1,40 @@
+// Package sim is a gflint fixture whose import path lands in detrand's
+// scope (it contains "internal/sim"): randomness must come from an
+// injected *rand.Rand and time must be virtual.
+package sim
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Model draws from an injected source only — the sanctioned pattern.
+// Referencing the *rand.Rand type (and rand.New / rand.NewSource) is
+// exactly how seeds are threaded and must stay legal.
+type Model struct {
+	rng *rand.Rand
+}
+
+func NewModel(seed int64) *Model {
+	return &Model{rng: rand.New(rand.NewSource(seed))}
+}
+
+func (m *Model) Step() int {
+	return m.rng.Intn(10)
+}
+
+func Bad() int {
+	return rand.Intn(10) // want "global math/rand.Intn"
+}
+
+func BadShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want "global math/rand.Shuffle"
+}
+
+func BadClock() int64 {
+	return time.Now().UnixNano() // want "time.Now leaks wall-clock"
+}
+
+func BadSince(t0 time.Time) time.Duration {
+	return time.Since(t0) // want "time.Since leaks wall-clock"
+}

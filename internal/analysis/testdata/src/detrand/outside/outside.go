@@ -1,0 +1,13 @@
+// Package outside sits next to the scoped fixture but its import path
+// matches none of detrand's scope fragments: wall-clock and global rand
+// are allowed here, and the analyzer must stay silent.
+package outside
+
+import (
+	"math/rand"
+	"time"
+)
+
+func Wall() int64 { return time.Now().UnixNano() }
+
+func Roll() int { return rand.Intn(6) }

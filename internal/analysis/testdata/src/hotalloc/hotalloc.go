@@ -1,0 +1,85 @@
+// Package hotalloc is a gflint fixture: each //gf:hotpath function below
+// exercises one allocating construct the analyzer must flag, and the
+// clean/cold functions prove it stays silent on the fixed patterns.
+package hotalloc
+
+import "fmt"
+
+type big struct{ a, b, c int }
+
+type cache struct {
+	buf []int
+	n   int
+}
+
+func use(v any) { _ = v }
+
+func useAll(vs ...any) { _ = vs }
+
+//gf:hotpath
+func hotClosure() func() {
+	return func() {} // want "closure literal in hot function hotClosure"
+}
+
+//gf:hotpath
+func hotLiterals() {
+	_ = map[int]int{} // want "map literal in hot function hotLiterals"
+	_ = []int{1, 2}   // want "slice literal in hot function hotLiterals"
+	_ = &big{}        // want "&composite literal in hot function hotLiterals"
+}
+
+//gf:hotpath
+func hotStrings(a, b string) string {
+	s := a + b // want "string concatenation in hot function hotStrings"
+	s += a     // want "string append"
+	return s
+}
+
+//gf:hotpath
+func hotConvert(bs []byte, s string) {
+	_ = string(bs) // want "conversion to string in hot function hotConvert"
+	_ = []byte(s)  // want "string-to-slice conversion in hot function hotConvert"
+}
+
+//gf:hotpath
+func hotBuiltins(c *cache, xs []int) {
+	xs = append(xs, 1) // want "append to a non-field-backed slice"
+	_ = make([]int, 4) // want "make in hot function hotBuiltins"
+	_ = new(big)       // want "new in hot function hotBuiltins"
+	c.buf = append(c.buf[:0], xs...)
+}
+
+//gf:hotpath
+func hotFmt() {
+	fmt.Println("x") // want "fmt.Println in hot function hotFmt"
+}
+
+//gf:hotpath
+func hotBox(v big, p *big) {
+	use(v) // want "as interface in hot function hotBox boxes"
+	use(p)
+	use(nil)
+}
+
+//gf:hotpath
+func hotVariadic(a int, p *big) {
+	useAll(a, p) // want "passing non-pointer int as interface"
+}
+
+// hotClean is fully annotated and fully allocation-free: field updates,
+// re-sliced reusable buffer, arithmetic.
+//
+//gf:hotpath
+func hotClean(c *cache, k int) int {
+	c.n++
+	c.buf = c.buf[:0]
+	c.buf = append(c.buf, k)
+	return c.buf[0] + k
+}
+
+// coldAlloc allocates freely but carries no annotation: silent.
+func coldAlloc() []int {
+	s := fmt.Sprint("cold")
+	_ = s
+	return []int{1, 2, 3}
+}

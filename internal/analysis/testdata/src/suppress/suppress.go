@@ -1,0 +1,29 @@
+// Package suppress is a gflint fixture for the //gflint:ignore
+// machinery: well-formed directives (analyzer + reason) on the offending
+// line or the line above waive a finding; naming an unknown analyzer is
+// itself a finding and waives nothing.
+package suppress
+
+import "fmt"
+
+//gf:hotpath
+func waivedAbove() {
+	//gflint:ignore hotalloc fixture demonstrates the line-above waiver
+	fmt.Println("ok")
+}
+
+//gf:hotpath
+func waivedSameLine() {
+	fmt.Println("ok") //gflint:ignore hotalloc fixture demonstrates the same-line waiver
+}
+
+//gf:hotpath
+func unwaived() {
+	fmt.Println("no") // want "fmt.Println in hot function unwaived"
+}
+
+//gf:hotpath
+func typo() {
+	//gflint:ignore hotallocs misspelled analyzer name; want "unknown analyzer"
+	fmt.Println("no") // want "fmt.Println in hot function typo"
+}

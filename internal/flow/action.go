@@ -96,6 +96,8 @@ func (v Verdict) String() string {
 // Apply executes the action list against key k, returning the rewritten key
 // and the terminal verdict (if any). Actions after a terminal action are
 // ignored, mirroring switch semantics.
+//
+//gf:hotpath
 func Apply(k Key, actions []Action) (Key, Verdict) {
 	for _, a := range actions {
 		switch a.Type {

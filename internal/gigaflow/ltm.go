@@ -104,6 +104,10 @@ type ltmTable struct {
 	stats    TableStats
 }
 
+// lookup probes the classifier group for tag, returning the best match
+// and the number of tuple probes spent.
+//
+//gf:hotpath
 func (t *ltmTable) lookup(tag int, k flow.Key) (*Entry, int) {
 	cls := t.byTag[tag]
 	if cls == nil {
@@ -268,6 +272,9 @@ type Cache struct {
 	rng      *rand.Rand
 	stats    Stats
 	adapt    *adaptState
+	// path is the reusable match-path buffer handed out as Result.Path.
+	// Sized to K at construction so the hot-path Lookup never grows it.
+	path []*Entry
 	// observeInsert marks whether the in-flight InsertPartition should
 	// feed the adaptive estimator (partitioned inserts only).
 	observeInsert bool
@@ -285,6 +292,7 @@ func New(p *pipeline.Pipeline, cfg Config) *Cache {
 		startTag: p.Start,
 		tables:   make([]*ltmTable, cfg.NumTables),
 		rng:      rand.New(rand.NewSource(cfg.Seed)),
+		path:     make([]*Entry, 0, cfg.NumTables),
 	}
 	for i := range c.tables {
 		c.tables[i] = &ltmTable{idx: i, capacity: cfg.TableCapacity, byTag: make(map[int]*tss.Classifier[*Entry])}
@@ -371,10 +379,17 @@ type Result struct {
 // current tag), applying its rewrites and tag update; tables whose entries
 // do not carry the current tag are skipped. The lookup hits iff a terminal
 // entry fires.
+//
+// Result.Path aliases a buffer owned by the cache and is only valid until
+// the next Lookup; callers that need to keep it must copy. The cache is
+// single-goroutine by design (the paper dedicates one core to the
+// slowpath), so the shared buffer is safe.
+//
+//gf:hotpath
 func (c *Cache) Lookup(k flow.Key, now int64) Result {
 	tag := c.startTag
 	cur := k
-	var path []*Entry
+	c.path = c.path[:0]
 	for _, t := range c.tables {
 		c.stats.TablesProbed++
 		e, probes := t.lookup(tag, cur)
@@ -383,24 +398,24 @@ func (c *Cache) Lookup(k flow.Key, now int64) Result {
 			continue
 		}
 		t.stats.Hits++
-		path = append(path, e)
+		c.path = append(c.path, e)
 		cur, _ = flow.Apply(cur, e.Commit)
 		if e.Terminal {
-			for _, pe := range path {
+			for _, pe := range c.path {
 				pe.Hits++
 				pe.LastHit = now
 				pe.table.touch(pe)
 			}
 			c.stats.Hits++
-			return Result{Hit: true, Verdict: e.Verdict, Final: cur, Path: path}
+			return Result{Hit: true, Verdict: e.Verdict, Final: cur, Path: c.path}
 		}
 		tag = e.NextTag
 	}
 	c.stats.Misses++
-	if len(path) > 0 {
+	if len(c.path) > 0 {
 		c.stats.Stalls++
 	}
-	return Result{Path: path}
+	return Result{Path: c.path}
 }
 
 // Peek is Lookup without statistics or LRU side effects.

@@ -128,6 +128,8 @@ func (c *Cache) Snapshot() Snapshot {
 
 // Lookup finds the entry matching k, updating hit/miss statistics and LRU
 // position. The second result reports whether the lookup hit.
+//
+//gf:hotpath
 func (c *Cache) Lookup(k flow.Key, now int64) (*Entry, bool) {
 	e, _ := c.cls.Lookup(k)
 	if e == nil {

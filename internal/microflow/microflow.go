@@ -72,6 +72,8 @@ func (c *Cache) Snapshot() Snapshot {
 }
 
 // Lookup finds the entry for exactly k.
+//
+//gf:hotpath
 func (c *Cache) Lookup(k flow.Key, now int64) (*Entry, bool) {
 	e, ok := c.entries[k]
 	if !ok {

@@ -195,14 +195,20 @@ func (v *HistogramVec) With(values ...string) *Histogram { return v.f.with(value
 type Counter struct{ v atomic.Uint64 }
 
 // Inc adds one.
+//
+//gf:hotpath
 func (c *Counter) Inc() { c.v.Add(1) }
 
 // Add adds n.
+//
+//gf:hotpath
 func (c *Counter) Add(n uint64) { c.v.Add(n) }
 
 // Set stores an absolute value. It exists for scrape-time mirroring of
 // counters maintained elsewhere (cache Stats structs); the caller is
 // responsible for monotonicity.
+//
+//gf:hotpath
 func (c *Counter) Set(n uint64) { c.v.Store(n) }
 
 // Value reads the current count.
@@ -213,9 +219,13 @@ func (c *Counter) Value() uint64 { return c.v.Load() }
 type Gauge struct{ bits atomic.Uint64 }
 
 // Set stores v.
+//
+//gf:hotpath
 func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
 
 // Add adds delta (CAS loop).
+//
+//gf:hotpath
 func (g *Gauge) Add(delta float64) {
 	for {
 		old := g.bits.Load()
@@ -239,11 +249,14 @@ type Histogram struct {
 }
 
 // Observe records one observation.
+//
+//gf:hotpath
 func (h *Histogram) Observe(v float64) {
 	h.buckets[stats.BucketIndex(v)].Add(1)
 	h.addSum(v)
 }
 
+//gf:hotpath
 func (h *Histogram) addSum(v float64) {
 	for {
 		old := h.sumBits.Load()

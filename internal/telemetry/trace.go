@@ -89,12 +89,21 @@ func (t *Tracer) Sampled() uint64 { return t.sampled.Load() }
 
 // Start returns a builder when this packet is sampled and nil otherwise.
 // The caller guards every recording call on the returned pointer, so an
-// unsampled packet pays one atomic increment and no allocation.
+// unsampled packet pays one atomic increment and no allocation; only
+// sampled packets reach the allocating newBuilder.
+//
+//gf:hotpath
 func (t *Tracer) Start() *TraceBuilder {
 	every := t.every.Load()
 	if every == 0 || t.n.Add(1)%every != 0 {
 		return nil
 	}
+	return t.newBuilder()
+}
+
+// newBuilder stamps the wall clock and allocates the builder for a
+// sampled packet. Cold by construction: called once per 1-in-N packets.
+func (t *Tracer) newBuilder() *TraceBuilder {
 	now := time.Now()
 	return &TraceBuilder{
 		tracer: t,

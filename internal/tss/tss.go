@@ -155,6 +155,8 @@ func maskLess(a, b flow.Mask) bool {
 
 // Lookup returns the highest-priority entry matching k, along with the
 // number of tuples probed. Returns nil when nothing matches.
+//
+//gf:hotpath
 func (c *Classifier[T]) Lookup(k flow.Key) (*Entry[T], int) {
 	if c.dirty {
 		c.rebuildOrder()

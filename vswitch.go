@@ -137,70 +137,88 @@ type ProcessResult struct {
 
 // Process handles one packet at virtual time now (nanoseconds): Microflow
 // exact-match (if enabled), main cache lookup, slowpath on miss, rule
-// installation. With a tracer attached (WithTracer), sampled packets
-// record each stage with wall-clock timings; the tb == nil branches below
-// are the entire fast-path cost when tracing is off.
+// installation. This function is the packet fast path — the body below is
+// the entire per-packet cost for cache hits, and gflint's hotalloc check
+// holds it to zero heap allocations. Everything cold lives in unannotated
+// callees: sampled packets divert to processTraced, misses to processMiss.
+//
+//gf:hotpath
 func (v *VSwitch) Process(k Key, now int64) (ProcessResult, error) {
 	v.stats.Packets++
-	var tb *telemetry.TraceBuilder
 	if v.tracer != nil {
-		if tb = v.tracer.Start(); tb != nil {
-			tb.SetKey(k.String())
+		if tb := v.tracer.Start(); tb != nil {
+			return v.processTraced(k, now, tb)
 		}
 	}
 	if v.uf != nil {
-		if tb != nil {
-			tb.Begin("microflow")
-		}
-		e, ok := v.uf.Lookup(k, now)
-		if tb != nil {
-			tb.End(ok)
-		}
-		if ok {
+		if e, ok := v.uf.Lookup(k, now); ok {
 			v.stats.MicroflowHits++
-			if tb != nil {
-				tb.Finish(e.Verdict.String(), true, true, nil)
-			}
 			return ProcessResult{Verdict: e.Verdict, Final: e.Final, CacheHit: true, MicroflowHit: true}, nil
 		}
 	}
 	if v.gf != nil {
-		if tb != nil {
-			tb.Begin("gigaflow")
-		}
 		res := v.gf.Lookup(k, now)
-		if tb != nil {
-			tb.End(res.Hit)
-			for _, e := range res.Path {
-				tb.Note("ltm-table", e.TableIndex(), e.Tag, e.Priority)
-			}
+		if res.Hit {
+			v.stats.CacheHits++
+			v.memoize(k, res.Final, res.Verdict, now)
+			return ProcessResult{Verdict: res.Verdict, Final: res.Final, CacheHit: true}, nil
+		}
+	} else if e, ok := v.mf.Lookup(k, now); ok {
+		v.stats.CacheHits++
+		final, verdict := e.Apply(k)
+		v.memoize(k, final, verdict, now)
+		return ProcessResult{Verdict: verdict, Final: final, CacheHit: true}, nil
+	}
+	return v.processMiss(k, now, nil)
+}
+
+// processTraced is Process for the 1-in-N sampled packets: the same
+// lookup chain with every stage timed and recorded into tb. Sampled
+// packets are allowed to allocate — that is the sampling contract.
+func (v *VSwitch) processTraced(k Key, now int64, tb *telemetry.TraceBuilder) (ProcessResult, error) {
+	tb.SetKey(k.String())
+	if v.uf != nil {
+		tb.Begin("microflow")
+		e, ok := v.uf.Lookup(k, now)
+		tb.End(ok)
+		if ok {
+			v.stats.MicroflowHits++
+			tb.Finish(e.Verdict.String(), true, true, nil)
+			return ProcessResult{Verdict: e.Verdict, Final: e.Final, CacheHit: true, MicroflowHit: true}, nil
+		}
+	}
+	if v.gf != nil {
+		tb.Begin("gigaflow")
+		res := v.gf.Lookup(k, now)
+		tb.End(res.Hit)
+		for _, e := range res.Path {
+			tb.Note("ltm-table", e.TableIndex(), e.Tag, e.Priority)
 		}
 		if res.Hit {
 			v.stats.CacheHits++
 			v.memoize(k, res.Final, res.Verdict, now)
-			if tb != nil {
-				tb.Finish(res.Verdict.String(), true, false, nil)
-			}
+			tb.Finish(res.Verdict.String(), true, false, nil)
 			return ProcessResult{Verdict: res.Verdict, Final: res.Final, CacheHit: true}, nil
 		}
 	} else {
-		if tb != nil {
-			tb.Begin("megaflow")
-		}
+		tb.Begin("megaflow")
 		e, ok := v.mf.Lookup(k, now)
-		if tb != nil {
-			tb.End(ok)
-		}
+		tb.End(ok)
 		if ok {
 			v.stats.CacheHits++
 			final, verdict := e.Apply(k)
 			v.memoize(k, final, verdict, now)
-			if tb != nil {
-				tb.Finish(verdict.String(), true, false, nil)
-			}
+			tb.Finish(verdict.String(), true, false, nil)
 			return ProcessResult{Verdict: verdict, Final: final, CacheHit: true}, nil
 		}
 	}
+	return v.processMiss(k, now, tb)
+}
+
+// processMiss punts a main-cache miss to the slowpath: full pipeline
+// traversal, partitioning, and rule installation. tb is nil unless the
+// packet is being traced.
+func (v *VSwitch) processMiss(k Key, now int64, tb *telemetry.TraceBuilder) (ProcessResult, error) {
 	v.stats.CacheMisses++
 	v.stats.Slowpath++
 	if tb != nil {
