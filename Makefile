@@ -1,11 +1,11 @@
 GO ?= go
 
-.PHONY: ci build test race vet lint fmt-check bench
+.PHONY: ci build test race vet lint fmt-check bench fuzz fuzz-regress
 
 ## ci: the standard verification gate — vet, build, race-enabled tests,
-## the project linter, and a gofmt cleanliness check. Run before every
-## commit.
-ci: vet build race lint fmt-check
+## the project linter, a gofmt cleanliness check, and the checked-in fuzz
+## corpus replayed as regression tests. Run before every commit.
+ci: vet build race lint fmt-check fuzz-regress
 
 build:
 	$(GO) build ./...
@@ -34,3 +34,14 @@ fmt-check:
 
 bench:
 	$(GO) test -run xxx -bench . -benchmem ./...
+
+## fuzz-regress: replay the checked-in seed corpus (testdata/fuzz) through
+## the decoder fuzz target in plain-test mode — fast, deterministic, part
+## of ci.
+fuzz-regress:
+	$(GO) test -run FuzzDecode ./internal/packet
+
+## fuzz: actively fuzz the frame decoder for a short burst. New crashers
+## land in internal/packet/testdata/fuzz/FuzzDecode — check them in.
+fuzz:
+	$(GO) test -run xxx -fuzz FuzzDecode -fuzztime 30s ./internal/packet

@@ -77,6 +77,32 @@ func hotClean(c *cache, k int) int {
 	return c.buf[0] + k
 }
 
+// hotWireDecode is the internal/packet decoder idiom: big-endian field
+// extraction from a byte slice with `_ = b[n]` bounds hints, a value
+// struct threaded through by copy, and a fixed-size array key mutated
+// through a pointer receiver. None of it allocates; the analyzer must
+// stay silent.
+//
+//gf:hotpath
+func hotWireDecode(frame []byte, k *[4]uint64) (uint64, wireInfo) {
+	var info wireInfo
+	if len(frame) < 6 {
+		info.err = 1
+		return 0, info
+	}
+	_ = frame[5]
+	v := uint64(frame[0])<<40 | uint64(frame[1])<<32 | uint64(frame[2])<<24 |
+		uint64(frame[3])<<16 | uint64(frame[4])<<8 | uint64(frame[5])
+	k[0] = v & 0xffffffffffff
+	info.headerLen = 6
+	return v, info
+}
+
+type wireInfo struct {
+	err       uint8
+	headerLen int
+}
+
 // coldAlloc allocates freely but carries no annotation: silent.
 func coldAlloc() []int {
 	s := fmt.Sprint("cold")

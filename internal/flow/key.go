@@ -20,6 +20,15 @@ func (k Key) With(f FieldID, v uint64) Key {
 	return k
 }
 
+// Set assigns field f in place (truncated to the field width). It is the
+// mutating twin of With for builders on the packet fast path, where
+// copying the whole key per field would be waste.
+//
+//gf:hotpath
+func (k *Key) Set(f FieldID, v uint64) {
+	k[f] = v & f.MaxValue()
+}
+
 // WithMasked returns a copy of k where the bits of f selected by mask are
 // replaced by the corresponding bits of v.
 func (k Key) WithMasked(f FieldID, v, mask uint64) Key {

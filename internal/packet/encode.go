@@ -1,0 +1,120 @@
+package packet
+
+import "gigaflow/internal/flow"
+
+// FrameLen reports the number of bytes AppendFrame will emit for k: an
+// Ethernet header, plus an IPv4 header and transport header when the
+// key's ethertype and protocol call for them.
+func FrameLen(k flow.Key) int {
+	if k.Get(flow.FieldEthType) != EtherTypeIPv4 {
+		return ethHeaderLen
+	}
+	n := ethHeaderLen + ipv4MinHeader
+	switch k.Get(flow.FieldIPProto) {
+	case IPProtoTCP:
+		n += tcpMinHeader
+	case IPProtoUDP:
+		n += udpHeaderLen
+	case IPProtoICMP:
+		n += icmpHeaderLen
+	}
+	return n
+}
+
+// AppendFrame serializes k into a minimal valid wire frame appended to
+// buf. The frame is the canonical form Decode maps back onto the same
+// key: no VLAN tags, no IP options, first-fragment offsets, and — for
+// keys whose ethertype is not IPv4 — an Ethernet header alone. The
+// ingress port and metadata register are not wire fields and are not
+// encoded. The IPv4 (and ICMP) checksums are computed so the frames
+// stand up to capture tooling; the TCP/UDP checksum is left zero, the
+// checksum-offload convention real captures exhibit.
+func AppendFrame(buf []byte, k flow.Key) []byte {
+	buf = appendBE48(buf, k.Get(flow.FieldEthDst))
+	buf = appendBE48(buf, k.Get(flow.FieldEthSrc))
+	ethType := k.Get(flow.FieldEthType)
+	buf = appendBE16(buf, uint16(ethType))
+	if ethType != EtherTypeIPv4 {
+		return buf
+	}
+
+	proto := byte(k.Get(flow.FieldIPProto))
+	l4len := 0
+	switch proto {
+	case IPProtoTCP:
+		l4len = tcpMinHeader
+	case IPProtoUDP:
+		l4len = udpHeaderLen
+	case IPProtoICMP:
+		l4len = icmpHeaderLen
+	}
+
+	ipStart := len(buf)
+	buf = append(buf, 0x45, 0) // version 4, IHL 5, TOS 0
+	buf = appendBE16(buf, uint16(ipv4MinHeader+l4len))
+	buf = append(buf, 0, 0, 0x40, 0) // ID 0, DF, fragment offset 0
+	buf = append(buf, 64, proto, 0, 0)
+	buf = appendBE32(buf, uint32(k.Get(flow.FieldIPSrc)))
+	buf = appendBE32(buf, uint32(k.Get(flow.FieldIPDst)))
+	csum := checksum16(buf[ipStart:])
+	buf[ipStart+10] = byte(csum >> 8)
+	buf[ipStart+11] = byte(csum)
+
+	tpSrc := uint16(k.Get(flow.FieldTpSrc))
+	tpDst := uint16(k.Get(flow.FieldTpDst))
+	switch proto {
+	case IPProtoTCP:
+		buf = appendBE16(buf, tpSrc)
+		buf = appendBE16(buf, tpDst)
+		buf = append(buf, 0, 0, 0, 0, 0, 0, 0, 0) // seq, ack
+		buf = append(buf, 0x50, 0x10)             // data offset 5, ACK
+		buf = append(buf, 0xff, 0xff, 0, 0, 0, 0) // window, cksum 0, urg 0
+	case IPProtoUDP:
+		buf = appendBE16(buf, tpSrc)
+		buf = appendBE16(buf, tpDst)
+		buf = appendBE16(buf, udpHeaderLen)
+		buf = append(buf, 0, 0) // checksum 0: legal for IPv4
+	case IPProtoICMP:
+		icmpStart := len(buf)
+		buf = append(buf, byte(tpSrc), byte(tpDst), 0, 0, 0, 0, 0, 0)
+		csum := checksum16(buf[icmpStart:])
+		buf[icmpStart+2] = byte(csum >> 8)
+		buf[icmpStart+3] = byte(csum)
+	}
+	return buf
+}
+
+// Encode is AppendFrame into a fresh, exactly-sized buffer.
+func Encode(k flow.Key) []byte {
+	return AppendFrame(make([]byte, 0, FrameLen(k)), k)
+}
+
+// checksum16 computes the RFC 1071 ones'-complement checksum over b,
+// which must already have its checksum field zeroed.
+func checksum16(b []byte) uint16 {
+	var sum uint32
+	for len(b) >= 2 {
+		sum += uint32(b[0])<<8 | uint32(b[1])
+		b = b[2:]
+	}
+	if len(b) == 1 {
+		sum += uint32(b[0]) << 8
+	}
+	for sum>>16 != 0 {
+		sum = sum&0xffff + sum>>16
+	}
+	return ^uint16(sum)
+}
+
+func appendBE16(buf []byte, v uint16) []byte {
+	return append(buf, byte(v>>8), byte(v))
+}
+
+func appendBE32(buf []byte, v uint32) []byte {
+	return append(buf, byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+}
+
+func appendBE48(buf []byte, v uint64) []byte {
+	return append(buf, byte(v>>40), byte(v>>32), byte(v>>24),
+		byte(v>>16), byte(v>>8), byte(v))
+}

@@ -1,0 +1,162 @@
+// Package packet is the wire-format boundary of the datapath: an
+// allocation-free decoder from raw Ethernet frame bytes to the flow.Key
+// the caches and pipeline consume, and an encoder that serializes a key
+// back into a minimal valid frame.
+//
+// The decoder extracts exactly the nine LTM key fields of the paper's
+// Figure 6 the way OVS's miniflow extraction does: Ethernet source,
+// destination and type (802.1Q and QinQ tags are skipped, the inner
+// ethertype wins), IPv4 source, destination and protocol, and the
+// TCP/UDP ports (ICMP type/code map onto the port fields, OVS-style).
+// The ingress port and metadata register are not wire fields: in_port is
+// supplied by the caller (the NIC queue the frame arrived on) and
+// metadata is always zero at ingress.
+//
+// Malformed input never panics. Frames whose L3/L4 headers are truncated
+// or inconsistent degrade to the longest well-formed prefix — typically
+// an L2-only key — with the failure recorded in Info.Err so callers can
+// count it. Non-IPv4 ethertypes (ARP, IPv6, LLDP, ...) are not errors:
+// they simply yield an L2-only key, matching the LTM field set, which
+// has no fields for them.
+package packet
+
+// Well-known ethertypes and IPv4 protocol numbers the codec interprets.
+const (
+	EtherTypeIPv4 = 0x0800
+	EtherTypeVLAN = 0x8100 // 802.1Q
+	EtherTypeQinQ = 0x88a8 // 802.1ad service tag
+
+	IPProtoICMP = 1
+	IPProtoTCP  = 6
+	IPProtoUDP  = 17
+)
+
+// Header sizes in bytes.
+const (
+	ethHeaderLen  = 14
+	vlanTagLen    = 4
+	ipv4MinHeader = 20
+	tcpMinHeader  = 20
+	udpHeaderLen  = 8
+	icmpHeaderLen = 8
+)
+
+// maxVLANTags bounds how many stacked 802.1Q/802.1ad tags the decoder
+// skips (an outer service tag plus the customer tag). Deeper stacks
+// leave the remaining TPID as the key's ethertype, an L2-only decode.
+const maxVLANTags = 2
+
+// Proto classifies a decoded frame for accounting. It is dense so
+// telemetry can index counter arrays by it.
+type Proto uint8
+
+const (
+	// ProtoTCP is an IPv4 TCP frame.
+	ProtoTCP Proto = iota
+	// ProtoUDP is an IPv4 UDP frame.
+	ProtoUDP
+	// ProtoICMP is an IPv4 ICMP frame.
+	ProtoICMP
+	// ProtoOtherIPv4 is IPv4 with any other protocol number.
+	ProtoOtherIPv4
+	// ProtoNonIPv4 is every non-IPv4 ethertype (ARP, IPv6, LLDP, ...).
+	ProtoNonIPv4
+
+	// NumProtos is the number of protocol classes.
+	NumProtos = int(ProtoNonIPv4) + 1
+)
+
+// String names the protocol class as telemetry labels spell it.
+func (p Proto) String() string {
+	switch p {
+	case ProtoTCP:
+		return "tcp"
+	case ProtoUDP:
+		return "udp"
+	case ProtoICMP:
+		return "icmp"
+	case ProtoOtherIPv4:
+		return "other_ipv4"
+	case ProtoNonIPv4:
+		return "non_ipv4"
+	}
+	return "invalid"
+}
+
+// ErrCode records how far a malformed frame got before decoding had to
+// stop. It is a plain code rather than an error so the hot path never
+// touches an interface; ErrOK means the frame decoded cleanly.
+type ErrCode uint8
+
+const (
+	// ErrOK: the frame decoded without defects.
+	ErrOK ErrCode = iota
+	// ErrShortFrame: fewer than 14 bytes; not even an Ethernet header.
+	// The key carries only the ingress port.
+	ErrShortFrame
+	// ErrVLANTruncated: a 802.1Q/QinQ TPID with no room for the tag.
+	// The key is L2-only with the TPID as its ethertype.
+	ErrVLANTruncated
+	// ErrVLANTooDeep: more stacked tags than the decoder's budget of
+	// maxVLANTags; the key is L2-only with the first undecoded TPID as
+	// its ethertype.
+	ErrVLANTooDeep
+	// ErrIPv4Truncated: an IPv4 ethertype with fewer than 20 payload
+	// bytes, or an IHL claiming more header than the frame holds.
+	ErrIPv4Truncated
+	// ErrIPv4BadVersion: the IP version nibble is not 4.
+	ErrIPv4BadVersion
+	// ErrIPv4BadIHL: the header-length nibble is below the legal
+	// minimum of 5 words.
+	ErrIPv4BadIHL
+	// ErrL4Truncated: the transport header is cut short; the key keeps
+	// its L3 fields and zero ports.
+	ErrL4Truncated
+
+	// NumErrCodes is the number of decode error codes (including ErrOK).
+	NumErrCodes = int(ErrL4Truncated) + 1
+)
+
+// String names the error code as telemetry labels spell it.
+func (e ErrCode) String() string {
+	switch e {
+	case ErrOK:
+		return "ok"
+	case ErrShortFrame:
+		return "short_frame"
+	case ErrVLANTruncated:
+		return "vlan_truncated"
+	case ErrVLANTooDeep:
+		return "vlan_too_deep"
+	case ErrIPv4Truncated:
+		return "ipv4_truncated"
+	case ErrIPv4BadVersion:
+		return "ipv4_bad_version"
+	case ErrIPv4BadIHL:
+		return "ipv4_bad_ihl"
+	case ErrL4Truncated:
+		return "l4_truncated"
+	}
+	return "invalid"
+}
+
+// Info describes one decode: its protocol class, any defect encountered,
+// and enough structure for telemetry and tests to reason about the frame
+// without re-parsing it.
+type Info struct {
+	// Proto is the frame's protocol class.
+	Proto Proto
+	// Err is ErrOK for a clean decode, else the first defect hit.
+	Err ErrCode
+	// VLAN is the outermost 802.1Q VLAN ID (0 when untagged).
+	VLAN uint16
+	// Fragment reports a non-first IPv4 fragment: the transport header
+	// lives in another frame, so the port fields stay zero (as OVS
+	// leaves them).
+	Fragment bool
+	// HeaderLen is the number of frame bytes consumed as headers.
+	HeaderLen int
+}
+
+// OK reports whether the frame decoded without defects.
+func (i Info) OK() bool { return i.Err == ErrOK }

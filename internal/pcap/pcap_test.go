@@ -1,0 +1,266 @@
+package pcap
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"math/rand"
+	"testing"
+
+	"gigaflow/internal/flow"
+	"gigaflow/internal/packet"
+	"gigaflow/internal/traffic"
+)
+
+func testFrames() [][]byte {
+	var a, b flow.Key
+	a.Set(flow.FieldEthSrc, 0x02aabbccddee)
+	a.Set(flow.FieldEthDst, 0x020102030405)
+	a.Set(flow.FieldEthType, packet.EtherTypeIPv4)
+	a.Set(flow.FieldIPSrc, 0x0a000001)
+	a.Set(flow.FieldIPDst, 0x0a000002)
+	a.Set(flow.FieldIPProto, packet.IPProtoTCP)
+	a.Set(flow.FieldTpSrc, 1234)
+	a.Set(flow.FieldTpDst, 80)
+	b = a.With(flow.FieldIPProto, packet.IPProtoUDP).With(flow.FieldTpDst, 53)
+	c := a.With(flow.FieldEthType, 0x0806)
+	return [][]byte{packet.Encode(a), packet.Encode(b), packet.Encode(c)}
+}
+
+func roundTrip(t *testing.T, opts ...WriterOption) {
+	t.Helper()
+	frames := testFrames()
+	times := []int64{0, 1_500_000_000, 86_400_000_000_123}
+
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, f := range frames {
+		if err := w.WritePacket(times[i], f); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.LinkType() != LinkTypeEthernet {
+		t.Fatalf("link type = %d", r.LinkType())
+	}
+	for i, f := range frames {
+		rec, err := r.Next()
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		wantTs := times[i]
+		if !r.Nanosecond() {
+			wantTs = wantTs / 1000 * 1000
+		}
+		if rec.TimeNs != wantTs {
+			t.Errorf("record %d: ts = %d, want %d", i, rec.TimeNs, wantTs)
+		}
+		if !bytes.Equal(rec.Frame, f) {
+			t.Errorf("record %d: frame bytes differ", i)
+		}
+		if rec.OrigLen != len(f) {
+			t.Errorf("record %d: orig len = %d, want %d", i, rec.OrigLen, len(f))
+		}
+	}
+	if _, err := r.Next(); err != io.EOF {
+		t.Fatalf("end of stream: %v, want io.EOF", err)
+	}
+}
+
+func TestRoundTripLittleEndianNanos(t *testing.T) { roundTrip(t) }
+
+func TestRoundTripBigEndianNanos(t *testing.T) {
+	roundTrip(t, WithByteOrder(binary.BigEndian))
+}
+
+func TestRoundTripLittleEndianMicros(t *testing.T) {
+	roundTrip(t, WithMicrosecond())
+}
+
+func TestRoundTripBigEndianMicros(t *testing.T) {
+	roundTrip(t, WithByteOrder(binary.BigEndian), WithMicrosecond())
+}
+
+func TestReaderRejectsGarbage(t *testing.T) {
+	_, err := NewReader(bytes.NewReader(bytes.Repeat([]byte{0x42}, 64)))
+	if !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("err = %v, want ErrBadMagic", err)
+	}
+	_, err = NewReader(bytes.NewReader([]byte{0xd4, 0xc3}))
+	if !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("short header err = %v, want unexpected EOF", err)
+	}
+}
+
+func TestReaderTruncatedRecord(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WritePacket(0, testFrames()[0]); err != nil {
+		t.Fatal(err)
+	}
+	cut := buf.Bytes()[:buf.Len()-5]
+	r, err := NewReader(bytes.NewReader(cut))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Next(); !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("err = %v, want unexpected EOF", err)
+	}
+}
+
+func TestReaderRejectsCorruptLength(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WritePacket(0, testFrames()[0]); err != nil {
+		t.Fatal(err)
+	}
+	// Forge the record's incl_len into an absurd value: the reader must
+	// refuse rather than trust it with an allocation.
+	binary.LittleEndian.PutUint32(buf.Bytes()[24+8:], 1<<30)
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Next(); err == nil || errors.Is(err, io.EOF) {
+		t.Fatalf("corrupt incl_len accepted: %v", err)
+	}
+}
+
+func TestWriterSnapLenTruncates(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, WithSnapLen(20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame := testFrames()[0]
+	if err := w.WritePacket(7, frame); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := r.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Frame) != 20 {
+		t.Fatalf("captured %d bytes, want snaplen 20", len(rec.Frame))
+	}
+	if rec.OrigLen != len(frame) {
+		t.Fatalf("orig len = %d, want %d", rec.OrigLen, len(frame))
+	}
+	if !bytes.Equal(rec.Frame, frame[:20]) {
+		t.Fatal("truncated bytes differ")
+	}
+}
+
+func TestReaderReusesBuffer(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frames := testFrames()
+	for i, f := range frames {
+		if err := w.WritePacket(int64(i), f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Next(); err != nil { // prime the buffer
+		t.Fatal(err)
+	}
+	n := testing.AllocsPerRun(1, func() {
+		// Remaining frames are no larger than the first? Not
+		// guaranteed in general — so just assert the big first frame
+		// primed a buffer the second read reuses.
+		if _, err := r.Next(); err != nil && err != io.EOF {
+			t.Fatal(err)
+		}
+	})
+	if n > 0 {
+		t.Fatalf("Next allocates %v times per record after priming", n)
+	}
+}
+
+// traceKeySample builds wire-faithful keys for the bridge test.
+func traceKeySample(ruleIdx int, rng *rand.Rand) flow.Key {
+	var k flow.Key
+	k.Set(flow.FieldEthSrc, 0x020000000000|uint64(rng.Intn(1<<24)))
+	k.Set(flow.FieldEthDst, 0x020000000001)
+	k.Set(flow.FieldEthType, packet.EtherTypeIPv4)
+	k.Set(flow.FieldIPSrc, uint64(0x0a000000+rng.Intn(1<<16)))
+	k.Set(flow.FieldIPDst, uint64(0x0a010000+ruleIdx))
+	k.Set(flow.FieldIPProto, packet.IPProtoTCP)
+	k.Set(flow.FieldTpSrc, uint64(1024+rng.Intn(60000)))
+	k.Set(flow.FieldTpDst, 443)
+	return k
+}
+
+func TestWriteTraceRoundTrip(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		opts []WriterOption
+	}{
+		{"little_endian", nil},
+		{"big_endian", []WriterOption{WithByteOrder(binary.BigEndian)}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := traffic.Config{Seed: 11, NumFlows: 40, MaxPackets: 20}
+			flows := traffic.GenerateFlows(cfg, traffic.UniformPicker(8), traceKeySample)
+			pkts := traffic.Expand(cfg, flows)
+			if len(pkts) == 0 {
+				t.Fatal("empty trace")
+			}
+
+			var buf bytes.Buffer
+			if err := WriteTrace(&buf, pkts, tc.opts...); err != nil {
+				t.Fatal(err)
+			}
+			r, err := NewReader(&buf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, p := range pkts {
+				rec, err := r.Next()
+				if err != nil {
+					t.Fatalf("record %d: %v", i, err)
+				}
+				if rec.TimeNs != p.Time {
+					t.Fatalf("record %d: ts = %d, want %d", i, rec.TimeNs, p.Time)
+				}
+				want := packet.Encode(p.Key)
+				if !bytes.Equal(rec.Frame, want) {
+					t.Fatalf("record %d: frame bytes differ from re-encoded key", i)
+				}
+				// The decoded key reproduces the trace key (modulo the
+				// non-wire in_port/meta fields, zero in this trace).
+				got, info := packet.Decode(rec.Frame, 0)
+				if !info.OK() || got != p.Key {
+					t.Fatalf("record %d: decode mismatch (info %+v)", i, info)
+				}
+			}
+			if _, err := r.Next(); err != io.EOF {
+				t.Fatalf("trailing data: %v", err)
+			}
+		})
+	}
+}

@@ -1,0 +1,110 @@
+package service
+
+import (
+	"context"
+	"errors"
+
+	"gigaflow"
+	wire "gigaflow/internal/packet"
+	"gigaflow/internal/telemetry"
+)
+
+// ErrShortFrame rejects a frame too short to carry even an Ethernet
+// header; there is nothing for the pipeline to forward on.
+var ErrShortFrame = errors.New("service: frame shorter than an Ethernet header")
+
+// frameMetrics pre-resolves the byte-level ingestion counters into
+// arrays indexed by the codec's dense Proto and ErrCode enums, so the
+// per-frame accounting is two pointer-chases and two atomic adds — no
+// label lookup on the packet path. Every series is materialised up
+// front so /metrics shows the full schema at zero.
+type frameMetrics struct {
+	decoded [wire.NumProtos]*telemetry.Counter
+	errs    [wire.NumErrCodes]*telemetry.Counter
+	frames  *telemetry.Counter
+	bytes   *telemetry.Counter
+	vlan    *telemetry.Counter
+	frags   *telemetry.Counter
+}
+
+func newFrameMetrics(reg *telemetry.Registry) *frameMetrics {
+	m := &frameMetrics{
+		frames: reg.Counter("gigaflow_frames_total",
+			"Wire-format frames submitted through SubmitFrame/TrySubmitFrame."),
+		bytes: reg.Counter("gigaflow_frame_bytes_total",
+			"Bytes of wire-format frames submitted."),
+		vlan: reg.Counter("gigaflow_frames_vlan_total",
+			"Frames that carried an 802.1Q/802.1ad VLAN tag."),
+		frags: reg.Counter("gigaflow_frames_fragment_total",
+			"Non-first IPv4 fragments (transport ports unavailable)."),
+	}
+	decoded := reg.CounterVec("gigaflow_frames_decoded_total",
+		"Decoded frames by protocol class.", "proto")
+	for p := 0; p < wire.NumProtos; p++ {
+		m.decoded[p] = decoded.With(wire.Proto(p).String())
+	}
+	errs := reg.CounterVec("gigaflow_frame_decode_errors_total",
+		"Frames whose decode hit a defect, by reason (degraded keys are still forwarded).", "reason")
+	for e := 1; e < wire.NumErrCodes; e++ { // 0 is ErrOK, not an error
+		m.errs[e] = errs.With(wire.ErrCode(e).String())
+	}
+	return m
+}
+
+// observe accounts one decoded frame of n wire bytes.
+//
+//gf:hotpath
+func (m *frameMetrics) observe(info wire.Info, n int) {
+	m.frames.Inc()
+	m.bytes.Add(uint64(n))
+	m.decoded[info.Proto].Inc()
+	if info.Err != wire.ErrOK {
+		m.errs[info.Err].Inc()
+	}
+	if info.VLAN != 0 {
+		m.vlan.Inc()
+	}
+	if info.Fragment {
+		m.frags.Inc()
+	}
+}
+
+// DecodeFrame runs the wire-format decoder and the service's frame
+// accounting without submitting the result — the building block
+// SubmitFrame and TrySubmitFrame share, exposed for callers (the
+// replay engine, tests) that need the key or decode Info themselves.
+//
+//gf:hotpath
+func (s *Service) DecodeFrame(inPort uint16, frame []byte) (gigaflow.Key, wire.Info) {
+	k, info := wire.Decode(frame, inPort)
+	s.frames.observe(info, len(frame))
+	return k, info
+}
+
+// SubmitFrame decodes a raw Ethernet frame received on inPort and
+// submits the resulting key, blocking for its Result like Submit.
+// Frames with decode defects degrade to the longest well-formed prefix
+// of the key and are still forwarded (the pipeline decides their fate);
+// only a frame too short to carry an Ethernet header is rejected, with
+// ErrShortFrame. Decode outcomes are counted in the metrics registry
+// either way.
+func (s *Service) SubmitFrame(ctx context.Context, inPort uint16, frame []byte) (Result, error) {
+	k, info := s.DecodeFrame(inPort, frame)
+	if info.Err == wire.ErrShortFrame {
+		return Result{}, ErrShortFrame
+	}
+	return s.Submit(ctx, k)
+}
+
+// TrySubmitFrame is the non-blocking twin of SubmitFrame: it decodes
+// and enqueues without waiting, reporting false when the target
+// worker's queue is full (counted as a queue-full drop) or the frame
+// is too short to decode (counted as a decode error). resp follows the
+// TrySubmit contract.
+func (s *Service) TrySubmitFrame(inPort uint16, frame []byte, resp chan<- Result) bool {
+	k, info := s.DecodeFrame(inPort, frame)
+	if info.Err == wire.ErrShortFrame {
+		return false
+	}
+	return s.TrySubmit(k, resp)
+}

@@ -1,0 +1,323 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"gigaflow"
+	wire "gigaflow/internal/packet"
+)
+
+// wireKey is the frame-representable analogue of the key() helper: the
+// service tests' pipeline matches eth_dst/ip_dst/tp_dst, and a real TCP
+// frame additionally carries eth_type/ip_proto/addresses.
+func wireKey(host, port uint64) gigaflow.Key {
+	return key(host, port).
+		With(gigaflow.FieldEthSrc, 0x02aabbccddee).
+		With(gigaflow.FieldIPSrc, 0x0a000099).
+		With(gigaflow.FieldIPProto, wire.IPProtoTCP).
+		With(gigaflow.FieldTpSrc, 40000)
+}
+
+func TestSubmitFrame(t *testing.T) {
+	s, ctx := startService(t, 2)
+	frame := wire.Encode(wireKey(1, 80))
+	r, err := s.SubmitFrame(ctx, 0, frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Verdict.Port != 1 {
+		t.Fatalf("verdict = %v", r.Verdict)
+	}
+	// The same frame again: exact same key, so a cache hit.
+	r, err = s.SubmitFrame(ctx, 0, frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.CacheHit {
+		t.Error("second identical frame should hit")
+	}
+}
+
+func TestSubmitFrameEquivalentToSubmitKey(t *testing.T) {
+	k := wireKey(5, 80)
+	frame := wire.Encode(k)
+
+	sA, ctxA := startService(t, 1)
+	rA, err := sA.SubmitFrame(ctxA, 0, frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sB, ctxB := startService(t, 1)
+	rB, err := sB.Submit(ctxB, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rA.Verdict != rB.Verdict || rA.Final != rB.Final {
+		t.Fatalf("frame path diverged from key path: %+v vs %+v", rA, rB)
+	}
+}
+
+func TestSubmitFrameShortFrame(t *testing.T) {
+	s, ctx := startService(t, 1)
+	if _, err := s.SubmitFrame(ctx, 0, []byte{1, 2, 3}); !errors.Is(err, ErrShortFrame) {
+		t.Fatalf("err = %v, want ErrShortFrame", err)
+	}
+	if s.frames.errs[wire.ErrShortFrame].Value() != 1 {
+		t.Fatal("short frame not counted")
+	}
+}
+
+func TestFrameTelemetryCounters(t *testing.T) {
+	s, ctx := startService(t, 1)
+	tcp := wire.Encode(wireKey(1, 80))
+	if _, err := s.SubmitFrame(ctx, 0, tcp); err != nil {
+		t.Fatal(err)
+	}
+	udp := wire.Encode(wireKey(2, 80).With(gigaflow.FieldIPProto, wire.IPProtoUDP))
+	if _, err := s.SubmitFrame(ctx, 0, udp); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.SubmitFrame(ctx, 0, tcp[:36]); err != nil { // degraded but forwarded
+		t.Fatal(err)
+	}
+
+	if got := s.frames.decoded[wire.ProtoTCP].Value(); got != 2 {
+		t.Errorf("tcp decoded = %d, want 2 (one clean, one degraded)", got)
+	}
+	if got := s.frames.decoded[wire.ProtoUDP].Value(); got != 1 {
+		t.Errorf("udp decoded = %d, want 1", got)
+	}
+	if got := s.frames.errs[wire.ErrL4Truncated].Value(); got != 1 {
+		t.Errorf("l4_truncated = %d, want 1", got)
+	}
+	if got := s.frames.frames.Value(); got != 3 {
+		t.Errorf("frames total = %d, want 3", got)
+	}
+	if got := s.frames.bytes.Value(); got != uint64(len(tcp)+len(udp)+36) {
+		t.Errorf("bytes total = %d", got)
+	}
+
+	// The counters surface through the registry's Prometheus text.
+	var buf bytes.Buffer
+	if err := s.Registry().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`gigaflow_frames_decoded_total{proto="tcp"} 2`,
+		`gigaflow_frames_decoded_total{proto="udp"} 1`,
+		`gigaflow_frame_decode_errors_total{reason="l4_truncated"} 1`,
+		`gigaflow_frames_total 3`,
+	} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("missing %q in /metrics output", want)
+		}
+	}
+}
+
+// TestTrySubmitDropAccounting fills a worker queue on purpose (the
+// service is built but never started, so nothing drains) and checks the
+// overload contract: accepted packets fit the queue exactly, rejections
+// increment the drop counter, nothing deadlocks, and no Result is ever
+// delivered for a rejected packet.
+func TestTrySubmitDropAccounting(t *testing.T) {
+	const depth = 4
+	s, err := New(buildPipeline(), Config{
+		Workers:    1,
+		QueueDepth: depth,
+		Cache:      gigaflow.CacheConfig{NumTables: 3, TableCapacity: 256},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const offered = depth + 6
+	resp := make(chan Result, offered)
+	accepted := 0
+	for i := 0; i < offered; i++ {
+		if s.TrySubmit(key(1, 80), resp) {
+			accepted++
+		}
+	}
+	if accepted != depth {
+		t.Fatalf("accepted %d, want queue depth %d", accepted, depth)
+	}
+	if got := s.workers[0].drops.Load(); got != offered-depth {
+		t.Fatalf("drops = %d, want %d", got, offered-depth)
+	}
+
+	// The drop counter surfaces in the registry.
+	s.collectServiceMetrics()
+	drops := s.reg.CounterVec("gigaflow_queue_full_drops_total",
+		"TrySubmit packets dropped because the worker queue was full.", "worker")
+	if got := drops.With("0").Value(); got != offered-depth {
+		t.Fatalf("registry drops = %d, want %d", got, offered-depth)
+	}
+
+	// Start the service: exactly the accepted packets produce Results —
+	// rejected submissions must never surface on the channel.
+	ctx := context.Background()
+	if err := s.Start(ctx); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	for i := 0; i < accepted; i++ {
+		select {
+		case r := <-resp:
+			if r.Err != nil {
+				t.Fatal(r.Err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("result %d never arrived (worker wedged?)", i)
+		}
+	}
+	select {
+	case r := <-resp:
+		t.Fatalf("unexpected extra result %+v for a dropped packet", r)
+	case <-time.After(50 * time.Millisecond):
+	}
+}
+
+// TestTrySubmitFrameDropAccounting exercises the same overload path
+// through the byte-level frontend, including the short-frame rejection
+// (which must not count as a queue drop).
+func TestTrySubmitFrameDropAccounting(t *testing.T) {
+	const depth = 2
+	s, err := New(buildPipeline(), Config{
+		Workers:    1,
+		QueueDepth: depth,
+		Cache:      gigaflow.CacheConfig{NumTables: 3, TableCapacity: 256},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame := wire.Encode(wireKey(1, 80))
+	resp := make(chan Result, depth)
+	accepted, rejected := 0, 0
+	for i := 0; i < depth+3; i++ {
+		if s.TrySubmitFrame(0, frame, resp) {
+			accepted++
+		} else {
+			rejected++
+		}
+	}
+	if accepted != depth || rejected != 3 {
+		t.Fatalf("accepted %d rejected %d, want %d/%d", accepted, rejected, depth, 3)
+	}
+	if got := s.workers[0].drops.Load(); got != 3 {
+		t.Fatalf("queue drops = %d, want 3", got)
+	}
+	// Short frames are decode rejections, not queue drops.
+	if s.TrySubmitFrame(0, frame[:5], resp) {
+		t.Fatal("short frame accepted")
+	}
+	if got := s.workers[0].drops.Load(); got != 3 {
+		t.Fatalf("short frame counted as queue drop (drops = %d)", got)
+	}
+	if got := s.frames.errs[wire.ErrShortFrame].Value(); got != 1 {
+		t.Fatalf("short frame not counted as decode error (= %d)", got)
+	}
+
+	ctx := context.Background()
+	if err := s.Start(ctx); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	for i := 0; i < accepted; i++ {
+		select {
+		case <-resp:
+		case <-time.After(5 * time.Second):
+			t.Fatal("queued frame never processed")
+		}
+	}
+	select {
+	case <-resp:
+		t.Fatal("dropped frame produced a result")
+	case <-time.After(50 * time.Millisecond):
+	}
+}
+
+// TestCapacitySplitExact is the regression test for the remainder-
+// dropping bug: the per-worker capacity division must conserve the
+// configured totals for every tier and backend.
+func TestCapacitySplitExact(t *testing.T) {
+	t.Run("gigaflow", func(t *testing.T) {
+		const workers, total, tables = 3, 1000, 4
+		s, err := New(buildPipeline(), Config{
+			Workers:           workers,
+			Cache:             gigaflow.CacheConfig{NumTables: tables, TableCapacity: total},
+			MicroflowCapacity: 10,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sumCache, sumMicro := 0, 0
+		for _, w := range s.workers {
+			sumCache += w.vs.Cache().Capacity()
+			sumMicro += w.vs.Microflow().Capacity()
+		}
+		if sumCache != tables*total {
+			t.Errorf("summed Gigaflow capacity = %d, want %d (remainder dropped)", sumCache, tables*total)
+		}
+		if sumMicro != 10 {
+			t.Errorf("summed Microflow capacity = %d, want 10", sumMicro)
+		}
+	})
+	t.Run("megaflow", func(t *testing.T) {
+		const workers, total = 4, 1002
+		s, err := New(buildPipeline(), Config{
+			Workers:          workers,
+			Backend:          BackendMegaflow,
+			MegaflowCapacity: total,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum := 0
+		for _, w := range s.workers {
+			sum += w.vs.Megaflow().Capacity()
+		}
+		if sum != total {
+			t.Errorf("summed Megaflow capacity = %d, want %d", sum, total)
+		}
+	})
+	t.Run("floor of one", func(t *testing.T) {
+		// Fewer entries than workers: every worker still gets 1 (the
+		// caches reject zero), so the total is the worker count.
+		s, err := New(buildPipeline(), Config{
+			Workers: 4,
+			Cache:   gigaflow.CacheConfig{NumTables: 1, TableCapacity: 2},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, w := range s.workers {
+			if got := w.vs.Cache().Capacity(); got != 1 {
+				t.Errorf("worker capacity = %d, want floor of 1", got)
+			}
+		}
+	})
+}
+
+func TestShareOf(t *testing.T) {
+	for _, tc := range []struct {
+		total, n int
+		want     []int
+	}{
+		{100, 3, []int{34, 33, 33}},
+		{8, 4, []int{2, 2, 2, 2}},
+		{10, 4, []int{3, 3, 2, 2}},
+		{1, 3, []int{1, 1, 1}}, // floor of one
+		{0, 2, []int{1, 1}},
+	} {
+		for i, want := range tc.want {
+			if got := shareOf(tc.total, tc.n, i); got != want {
+				t.Errorf("shareOf(%d,%d,%d) = %d, want %d", tc.total, tc.n, i, got, want)
+			}
+		}
+	}
+}

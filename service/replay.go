@@ -1,0 +1,171 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"gigaflow"
+	wire "gigaflow/internal/packet"
+	"gigaflow/internal/pcap"
+)
+
+// ReplayConfig parameterises a pcap replay through a running Service.
+type ReplayConfig struct {
+	// InPort is the ingress port every replayed frame is attributed to
+	// (a replay injects on one logical NIC queue).
+	InPort uint16
+	// Timed paces the replay by the capture's own timestamps instead
+	// of as-fast-as-possible: each frame is submitted no earlier than
+	// its trace offset from the first frame, scaled by Speedup.
+	Timed bool
+	// Speedup compresses (>1) or stretches (<1) the trace timeline in
+	// Timed mode (default 1.0).
+	Speedup float64
+	// Blocking submits each frame and waits for its result — no frame
+	// is ever dropped, which keeps the replayed cache behaviour
+	// identical to direct key submission. The default is
+	// fire-and-forget TrySubmit, the overload semantics of a real rx
+	// ring, with queue-full drops counted.
+	Blocking bool
+	// Limit stops after this many records (0 replays everything).
+	Limit int
+}
+
+// ReplayReport summarises one replay.
+type ReplayReport struct {
+	// Frames is the number of pcap records read.
+	Frames int
+	// Bytes is the sum of captured frame bytes read.
+	Bytes int
+	// Submitted counts frames that entered a worker queue.
+	Submitted int
+	// QueueDrops counts frames rejected by a full worker queue
+	// (non-blocking mode only).
+	QueueDrops int
+	// Rejected counts frames the decoder refused outright (shorter
+	// than an Ethernet header).
+	Rejected int
+	// DecodeErrors counts frames that decoded with a defect but were
+	// still forwarded on a degraded key.
+	DecodeErrors int
+	// PipelineErrs counts blocking-mode frames whose processing
+	// returned a pipeline error (misconfigured table graph).
+	PipelineErrs int
+	// PerProto counts decoded frames by protocol class, indexed by
+	// wire.Proto.
+	PerProto [wire.NumProtos]int
+	// Truncated reports that the capture ended mid-record; the replay
+	// covers everything before the cut.
+	Truncated bool
+	// Stats is the service-wide VSwitch counter delta over the replay:
+	// hits, misses, slowpath traversals attributable to this trace.
+	Stats gigaflow.VSwitchStats
+	// Elapsed is the wall-clock replay duration.
+	Elapsed time.Duration
+}
+
+// Replay streams a pcap capture through the service frame frontend and
+// reports what happened. The service must be started. In non-blocking
+// mode the report's Stats are still complete: the final stats snapshot
+// runs as a control op behind every submitted frame on each worker's
+// FIFO queue, so it observes all of them.
+func (s *Service) Replay(ctx context.Context, r *pcap.Reader, cfg ReplayConfig) (ReplayReport, error) {
+	if cfg.Speedup <= 0 {
+		cfg.Speedup = 1
+	}
+	var rep ReplayReport
+	before, err := s.Stats(ctx)
+	if err != nil {
+		return rep, err
+	}
+	start := time.Now()
+	var traceStart int64
+	for cfg.Limit <= 0 || rep.Frames < cfg.Limit {
+		rec, err := r.Next()
+		if err != nil {
+			if errors.Is(err, io.ErrUnexpectedEOF) {
+				// An interrupted capture: replay what exists, as
+				// capture tooling does, and say so in the report.
+				rep.Truncated = true
+				break
+			}
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			return rep, err
+		}
+		if cfg.Timed {
+			if rep.Frames == 0 {
+				traceStart = rec.TimeNs
+			}
+			offset := time.Duration(float64(rec.TimeNs-traceStart) / cfg.Speedup)
+			if wait := time.Until(start.Add(offset)); wait > 0 {
+				select {
+				case <-ctx.Done():
+					return rep, ctx.Err()
+				case <-time.After(wait):
+				}
+			}
+		}
+		rep.Frames++
+		rep.Bytes += len(rec.Frame)
+		k, info := s.DecodeFrame(cfg.InPort, rec.Frame)
+		if info.Err == wire.ErrShortFrame {
+			rep.Rejected++
+			continue
+		}
+		rep.PerProto[info.Proto]++
+		if info.Err != wire.ErrOK {
+			rep.DecodeErrors++
+		}
+		if cfg.Blocking {
+			if _, err := s.Submit(ctx, k); err != nil {
+				if ctx.Err() != nil {
+					return rep, ctx.Err()
+				}
+				// A per-packet pipeline error is a property of the
+				// ruleset, not the replay; count it and keep going.
+				rep.PipelineErrs++
+			}
+			rep.Submitted++
+		} else if s.TrySubmit(k, nil) {
+			rep.Submitted++
+		} else {
+			rep.QueueDrops++
+		}
+	}
+	rep.Elapsed = time.Since(start)
+	after, err := s.Stats(ctx)
+	if err != nil {
+		return rep, err
+	}
+	rep.Stats = statsDelta(before, after)
+	return rep, nil
+}
+
+// HitRate is the cache hit rate over the replayed traffic (microflow +
+// main cache), 0 when nothing was processed.
+func (rep ReplayReport) HitRate() float64 { return rep.Stats.TotalHitRate() }
+
+// String renders a one-line summary.
+func (rep ReplayReport) String() string {
+	return fmt.Sprintf("%d frames (%d bytes) in %v: %d submitted, %d queue drops, %d rejected, %d decode errors, hit rate %.2f%%",
+		rep.Frames, rep.Bytes, rep.Elapsed.Round(time.Millisecond),
+		rep.Submitted, rep.QueueDrops, rep.Rejected, rep.DecodeErrors, 100*rep.HitRate())
+}
+
+// statsDelta subtracts two cumulative VSwitchStats snapshots.
+func statsDelta(before, after gigaflow.VSwitchStats) gigaflow.VSwitchStats {
+	return gigaflow.VSwitchStats{
+		Packets:       after.Packets - before.Packets,
+		MicroflowHits: after.MicroflowHits - before.MicroflowHits,
+		CacheHits:     after.CacheHits - before.CacheHits,
+		CacheMisses:   after.CacheMisses - before.CacheMisses,
+		Slowpath:      after.Slowpath - before.Slowpath,
+		Installs:      after.Installs - before.Installs,
+		InstallErrs:   after.InstallErrs - before.InstallErrs,
+	}
+}

@@ -1,0 +1,210 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"gigaflow"
+	wire "gigaflow/internal/packet"
+	"gigaflow/internal/pcap"
+	"gigaflow/internal/traffic"
+)
+
+// replayPipeline matches on the wire-representable fields so every
+// synthesized key is reachable from its encoded frame.
+func replayPipeline() *gigaflow.Pipeline {
+	p := gigaflow.NewPipeline("replay")
+	p.AddTable(0, "l2", gigaflow.NewFieldSet(gigaflow.FieldEthDst))
+	p.AddTable(1, "l3", gigaflow.NewFieldSet(gigaflow.FieldIPDst))
+	p.AddTable(2, "l4", gigaflow.NewFieldSet(gigaflow.FieldTpDst))
+	p.MustAddRule(0, gigaflow.MustParseMatch("eth_dst=02:00:00:00:00:01"), 10, nil, 1)
+	for i := 0; i < 8; i++ {
+		p.MustAddRule(1, gigaflow.MustParseMatch(fmt.Sprintf("ip_dst=10.1.0.%d", i)), 10, nil, 2)
+	}
+	p.MustAddRule(2, gigaflow.MustParseMatch("tp_dst=443"), 10,
+		[]gigaflow.Action{gigaflow.Output(1)}, gigaflow.NoTable)
+	p.MustAddRule(2, gigaflow.MustParseMatch("tp_dst=80"), 10,
+		[]gigaflow.Action{gigaflow.Output(2)}, gigaflow.NoTable)
+	return p
+}
+
+// replayTrace synthesizes a wire-faithful CAIDA-style trace: every key
+// is fully representable as a TCP frame (in_port and metadata zero).
+func replayTrace(t *testing.T) []traffic.Packet {
+	t.Helper()
+	sample := func(ruleIdx int, rng *rand.Rand) gigaflow.Key {
+		var k gigaflow.Key
+		k.Set(gigaflow.FieldEthSrc, 0x020000000000|uint64(rng.Intn(1<<20)))
+		k.Set(gigaflow.FieldEthDst, 0x020000000001)
+		k.Set(gigaflow.FieldEthType, wire.EtherTypeIPv4)
+		k.Set(gigaflow.FieldIPSrc, uint64(0x0a000000+rng.Intn(1<<14)))
+		k.Set(gigaflow.FieldIPDst, uint64(0x0a010000+ruleIdx))
+		k.Set(gigaflow.FieldIPProto, wire.IPProtoTCP)
+		k.Set(gigaflow.FieldTpSrc, uint64(1024+rng.Intn(60000)))
+		if rng.Intn(2) == 0 {
+			k.Set(gigaflow.FieldTpDst, 443)
+		} else {
+			k.Set(gigaflow.FieldTpDst, 80)
+		}
+		return k
+	}
+	cfg := traffic.Config{Seed: 4, NumFlows: 120, MaxPackets: 30}
+	flows := traffic.GenerateFlows(cfg, traffic.UniformPicker(8), sample)
+	pkts := traffic.Expand(cfg, flows)
+	if len(pkts) < 200 {
+		t.Fatalf("trace too small: %d packets", len(pkts))
+	}
+	return pkts
+}
+
+func newReplayService(t *testing.T) *Service {
+	t.Helper()
+	s, err := New(replayPipeline(), Config{
+		Workers:           2,
+		Cache:             gigaflow.CacheConfig{NumTables: 3, TableCapacity: 512},
+		MicroflowCapacity: 256,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+// TestReplayRoundTripMatchesDirectSubmission is the end-to-end loop the
+// tentpole promises: synthesize a trace, serialize it to pcap through
+// the traffic bridge, replay the bytes through one service, submit the
+// original keys directly to an identically configured second service,
+// and require identical VSwitchStats from both.
+func TestReplayRoundTripMatchesDirectSubmission(t *testing.T) {
+	pkts := replayTrace(t)
+	var buf bytes.Buffer
+	if err := pcap.WriteTrace(&buf, pkts); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx := context.Background()
+
+	replaySvc := newReplayService(t)
+	r, err := pcap.NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := replaySvc.Replay(ctx, r, ReplayConfig{Blocking: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Frames != len(pkts) || rep.Submitted != len(pkts) {
+		t.Fatalf("replay covered %d/%d of %d packets", rep.Submitted, rep.Frames, len(pkts))
+	}
+	if rep.DecodeErrors != 0 || rep.Rejected != 0 || rep.QueueDrops != 0 {
+		t.Fatalf("lossless blocking replay dropped frames: %+v", rep)
+	}
+	if rep.PerProto[wire.ProtoTCP] != len(pkts) {
+		t.Fatalf("per-proto accounting = %v", rep.PerProto)
+	}
+
+	directSvc := newReplayService(t)
+	for _, p := range pkts {
+		if _, err := directSvc.Submit(ctx, p.Key); err != nil {
+			t.Fatal(err)
+		}
+	}
+	direct, err := directSvc.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if rep.Stats != direct {
+		t.Fatalf("byte-level replay diverged from direct key submission:\nreplay %+v\ndirect %+v",
+			rep.Stats, direct)
+	}
+	if rep.Stats.Packets != uint64(len(pkts)) {
+		t.Fatalf("stats cover %d packets, want %d", rep.Stats.Packets, len(pkts))
+	}
+	if rep.HitRate() <= 0 {
+		t.Fatal("replayed trace produced no cache hits")
+	}
+}
+
+// TestReplayTimedPacing checks trace-timestamp pacing: a two-packet
+// trace 80ms apart at Speedup 1 cannot finish faster than the gap.
+func TestReplayTimedPacing(t *testing.T) {
+	k := gigaflow.MustParseKey("eth_dst=02:00:00:00:00:01,eth_type=0x0800")
+	pkts := []traffic.Packet{
+		{Key: k, Time: 0, Size: 60},
+		{Key: k, Time: 80_000_000, Size: 60},
+	}
+	var buf bytes.Buffer
+	if err := pcap.WriteTrace(&buf, pkts); err != nil {
+		t.Fatal(err)
+	}
+	s := newReplayService(t)
+	r, err := pcap.NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := s.Replay(context.Background(), r, ReplayConfig{Timed: true, Blocking: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Elapsed < 80_000_000 {
+		t.Fatalf("timed replay finished in %v, faster than the 80ms trace span", rep.Elapsed)
+	}
+	if rep.Frames != 2 {
+		t.Fatalf("frames = %d", rep.Frames)
+	}
+}
+
+// TestReplayLimit stops after N records.
+func TestReplayLimit(t *testing.T) {
+	pkts := replayTrace(t)
+	var buf bytes.Buffer
+	if err := pcap.WriteTrace(&buf, pkts); err != nil {
+		t.Fatal(err)
+	}
+	s := newReplayService(t)
+	r, err := pcap.NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := s.Replay(context.Background(), r, ReplayConfig{Blocking: true, Limit: 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Frames != 25 || rep.Stats.Packets != 25 {
+		t.Fatalf("limit ignored: %d frames, %d packets", rep.Frames, rep.Stats.Packets)
+	}
+}
+
+// TestReplayTruncatedCapture replays what exists before a mid-record
+// cut and reports the truncation instead of failing.
+func TestReplayTruncatedCapture(t *testing.T) {
+	pkts := replayTrace(t)[:10]
+	var buf bytes.Buffer
+	if err := pcap.WriteTrace(&buf, pkts); err != nil {
+		t.Fatal(err)
+	}
+	cut := buf.Bytes()[:buf.Len()-7]
+	s := newReplayService(t)
+	r, err := pcap.NewReader(bytes.NewReader(cut))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := s.Replay(context.Background(), r, ReplayConfig{Blocking: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Truncated {
+		t.Fatal("truncation not reported")
+	}
+	if rep.Frames != len(pkts)-1 {
+		t.Fatalf("replayed %d frames, want %d", rep.Frames, len(pkts)-1)
+	}
+}

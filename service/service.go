@@ -195,6 +195,7 @@ type Service struct {
 	reg     *telemetry.Registry
 	tracer  *telemetry.Tracer
 	latency *telemetry.Histogram
+	frames  *frameMetrics
 	started atomic.Int64 // start wall time (unix ns); 0 before Start
 	tsrv    *telemetryServer
 
@@ -221,15 +222,11 @@ func New(p *gigaflow.Pipeline, cfg Config) (*Service, error) {
 	}
 	s.latency = s.reg.Histogram("gigaflow_submit_latency_ns",
 		"End-to-end Submit latency (enqueue to result) in nanoseconds.")
+	s.frames = newFrameMetrics(s.reg)
 
 	var program strings.Builder
 	if err := gigaflow.DumpPipeline(&program, p); err != nil {
 		return nil, err
-	}
-	perWorker := cfg.Cache
-	perWorker.TableCapacity = cfg.Cache.TableCapacity / cfg.Workers
-	if perWorker.TableCapacity < 1 {
-		perWorker.TableCapacity = 1
 	}
 	for i := 0; i < cfg.Workers; i++ {
 		replica, err := gigaflow.LoadPipelineString(program.String())
@@ -241,22 +238,16 @@ func New(p *gigaflow.Pipeline, cfg Config) (*Service, error) {
 		if cfg.MaxIdle > 0 {
 			opts = append(opts, gigaflow.WithMaxIdle(cfg.MaxIdle.Nanoseconds()))
 		}
+		perWorker := cfg.Cache
+		perWorker.TableCapacity = shareOf(cfg.Cache.TableCapacity, cfg.Workers, i)
 		if cfg.Backend == BackendMegaflow {
-			mfCap := cfg.MegaflowCapacity / cfg.Workers
-			if mfCap < 1 {
-				mfCap = 1
-			}
-			opts = append(opts, gigaflow.WithMegaflowBackend(mfCap))
+			opts = append(opts, gigaflow.WithMegaflowBackend(shareOf(cfg.MegaflowCapacity, cfg.Workers, i)))
 			// NewVSwitch still wants a valid Gigaflow shape before the
 			// option swaps the backend out.
 			perWorker = gigaflow.CacheConfig{NumTables: 1, TableCapacity: 1}
 		}
 		if cfg.MicroflowCapacity > 0 {
-			ufCap := cfg.MicroflowCapacity / cfg.Workers
-			if ufCap < 1 {
-				ufCap = 1
-			}
-			opts = append(opts, gigaflow.WithMicroflow(ufCap))
+			opts = append(opts, gigaflow.WithMicroflow(shareOf(cfg.MicroflowCapacity, cfg.Workers, i)))
 		}
 		s.workers = append(s.workers, &worker{
 			vs:    gigaflow.NewVSwitch(replica, perWorker, opts...),
@@ -487,6 +478,23 @@ func (s *Service) Close() error {
 	s.cancel()
 	s.done.Wait()
 	return nil
+}
+
+// shareOf is worker i's slice of a total capacity budget split over n
+// workers: total/n, plus one unit of the remainder for the first
+// total%n workers, so the shares sum exactly to the configured total
+// (a naive total/n silently discarded up to n-1 entries). Every worker
+// still receives at least 1 — the cache constructors reject zero — so
+// when total < n the summed capacity is n, not total.
+func shareOf(total, n, i int) int {
+	share := total / n
+	if i < total%n {
+		share++
+	}
+	if share < 1 {
+		share = 1
+	}
+	return share
 }
 
 // keyShard hashes the 5-tuple for RSS sharding.

@@ -121,6 +121,14 @@ func (v *VSwitch) Pipeline() *Pipeline { return v.pipe }
 // backend.
 func (v *VSwitch) Cache() *gfcache.Cache { return v.gf }
 
+// Megaflow returns the Megaflow cache, or nil when running with the
+// Gigaflow backend.
+func (v *VSwitch) Megaflow() *megaflow.Cache { return v.mf }
+
+// Microflow returns the exact-match first-level cache, or nil when the
+// tier is disabled.
+func (v *VSwitch) Microflow() *microflow.Cache { return v.uf }
+
 // Stats returns a snapshot of the counters.
 func (v *VSwitch) Stats() VSwitchStats { return v.stats }
 
