@@ -1,11 +1,12 @@
 GO ?= go
 
-.PHONY: ci build test race vet lint fmt-check bench fuzz fuzz-regress
+.PHONY: ci build test race vet lint fmt-check bench bench-gate deprecated-check fuzz fuzz-regress
 
 ## ci: the standard verification gate — vet, build, race-enabled tests,
-## the project linter, a gofmt cleanliness check, and the checked-in fuzz
-## corpus replayed as regression tests. Run before every commit.
-ci: vet build race lint fmt-check fuzz-regress
+## the project linter, a gofmt cleanliness check, the deprecated-alias
+## sweep, and the checked-in fuzz corpus replayed as regression tests.
+## Run before every commit.
+ci: vet build race lint fmt-check deprecated-check fuzz-regress
 
 build:
 	$(GO) build ./...
@@ -34,6 +35,22 @@ fmt-check:
 
 bench:
 	$(GO) test -run xxx -bench . -benchmem ./...
+
+## bench-gate: the batched-submission throughput floor — SubmitBatch at
+## the default batch size must stay at least 2x faster per packet than
+## per-packet Submit on the warmed service pipeline. Wall-clock, so it is
+## opt-in (not part of `test`), gated by GF_BENCH_GATE=1.
+bench-gate:
+	GF_BENCH_GATE=1 $(GO) test -run TestBatchThroughputGate -count=1 -v ./service
+
+## deprecated-check: no new callers of the deprecated TrySubmit /
+## TrySubmitFrame aliases outside the service package (where they are
+## defined and contract-tested). New code uses Submit* with Nonblocking().
+deprecated-check:
+	@out=$$(grep -rn --include='*.go' -e '\.TrySubmit(' -e '\.TrySubmitFrame(' . | grep -v '^\./service/'); \
+	if [ -n "$$out" ]; then \
+		echo "deprecated TrySubmit/TrySubmitFrame callers (use Submit* with Nonblocking()):"; \
+		echo "$$out"; exit 1; fi
 
 ## fuzz-regress: replay the checked-in seed corpus (testdata/fuzz) through
 ## the decoder fuzz target in plain-test mode — fast, deterministic, part

@@ -18,7 +18,6 @@ import (
 	"context"
 	"flag"
 	"fmt"
-	"math/rand"
 	"os"
 
 	"gigaflow"
@@ -26,6 +25,7 @@ import (
 	"gigaflow/internal/pcap"
 	"gigaflow/internal/stats"
 	"gigaflow/internal/traffic"
+	"gigaflow/internal/wiredemo"
 	"gigaflow/service"
 )
 
@@ -44,6 +44,7 @@ func main() {
 		timed     = flag.Bool("timed", false, "pace by trace timestamps instead of as-fast-as-possible")
 		speedup   = flag.Float64("speedup", 1, "timeline compression in -timed mode")
 		block     = flag.Bool("block", false, "wait for each frame's verdict (lossless replay)")
+		batch     = flag.Int("batch", service.DefaultBatchSize, "frames submitted per batch (1: per-packet submission)")
 		limit     = flag.Int("limit", 0, "stop after N records (0: all)")
 		flows     = flag.Int("flows", 5000, "unique flows in a -gen trace")
 		seed      = flag.Int64("seed", 1, "seed for -gen")
@@ -107,11 +108,12 @@ func main() {
 	}
 
 	rep, err := s.Replay(ctx, r, service.ReplayConfig{
-		InPort:   uint16(*inPort),
-		Timed:    *timed,
-		Speedup:  *speedup,
-		Blocking: *block,
-		Limit:    *limit,
+		InPort:    uint16(*inPort),
+		Timed:     *timed,
+		Speedup:   *speedup,
+		Blocking:  *block,
+		Limit:     *limit,
+		BatchSize: *batch,
 	})
 	if err != nil {
 		fail(err)
@@ -169,7 +171,7 @@ func report(rep service.ReplayReport) {
 // built-in wire-demo pipeline that pairs with -gen traces.
 func loadPipeline(path string) (*gigaflow.Pipeline, error) {
 	if path == "" {
-		return demoPipeline(), nil
+		return wiredemo.Pipeline(), nil
 	}
 	f, err := os.Open(path)
 	if err != nil {
@@ -179,59 +181,9 @@ func loadPipeline(path string) (*gigaflow.Pipeline, error) {
 	return gigaflow.LoadPipeline(f)
 }
 
-// The wire demo: an L2 admission table, an L3 routing table of /32
-// destinations, and an L4 policy table — every match field is carried in
-// frame bytes, so a decoded frame reproduces the synthesized key exactly.
-const (
-	demoDsts  = 16
-	demoPorts = 4
-)
-
-var demoTCPPorts = [...]uint64{80, 443, 22}
-
-func demoPipeline() *gigaflow.Pipeline {
-	p := gigaflow.NewPipeline("wire-demo")
-	p.AddTable(0, "l2", gigaflow.NewFieldSet(gigaflow.FieldEthDst))
-	p.AddTable(1, "l3", gigaflow.NewFieldSet(gigaflow.FieldIPDst))
-	p.AddTable(2, "l4", gigaflow.NewFieldSet(gigaflow.FieldIPProto, gigaflow.FieldTpDst))
-	p.MustAddRule(0, gigaflow.MustParseMatch("eth_dst=02:00:00:00:00:01"), 10, nil, 1)
-	for i := 0; i < demoDsts; i++ {
-		m := gigaflow.MustParseMatch(fmt.Sprintf("ip_dst=10.1.0.%d", i))
-		p.MustAddRule(1, m, 10, nil, 2)
-	}
-	for i, port := range demoTCPPorts {
-		m := gigaflow.MustParseMatch(fmt.Sprintf("ip_proto=6,tp_dst=%d", port))
-		p.MustAddRule(2, m, 10, []gigaflow.Action{gigaflow.Output(uint16(i + 1))}, gigaflow.NoTable)
-	}
-	p.MustAddRule(2, gigaflow.MustParseMatch("ip_proto=17,tp_dst=53"), 10,
-		[]gigaflow.Action{gigaflow.Output(9)}, gigaflow.NoTable)
-	return p
-}
-
-// demoKey synthesizes one wire-faithful flow key: in_port and metadata
-// stay zero (neither is a wire field), everything else round-trips
-// through encode→decode losslessly.
-func demoKey(ruleIdx int, rng *rand.Rand) gigaflow.Key {
-	var k gigaflow.Key
-	k.Set(gigaflow.FieldEthSrc, 0x020000000000|uint64(rng.Intn(1<<24)))
-	k.Set(gigaflow.FieldEthDst, 0x020000000001)
-	k.Set(gigaflow.FieldEthType, wire.EtherTypeIPv4)
-	k.Set(gigaflow.FieldIPSrc, uint64(0x0a000000+rng.Intn(1<<16)))
-	k.Set(gigaflow.FieldIPDst, uint64(0x0a010000+ruleIdx%demoDsts))
-	k.Set(gigaflow.FieldTpSrc, uint64(1024+rng.Intn(60000)))
-	if pick := ruleIdx % demoPorts; pick < len(demoTCPPorts) {
-		k.Set(gigaflow.FieldIPProto, wire.IPProtoTCP)
-		k.Set(gigaflow.FieldTpDst, demoTCPPorts[pick])
-	} else {
-		k.Set(gigaflow.FieldIPProto, wire.IPProtoUDP)
-		k.Set(gigaflow.FieldTpDst, 53)
-	}
-	return k
-}
-
 func generate(path string, flows int, seed int64) error {
 	cfg := traffic.Config{Seed: seed, NumFlows: flows}
-	fl := traffic.GenerateFlows(cfg, traffic.UniformPicker(demoDsts*demoPorts), demoKey)
+	fl := traffic.GenerateFlows(cfg, traffic.UniformPicker(wiredemo.NumFlowsUnique), wiredemo.Key)
 	pkts := traffic.Expand(cfg, fl)
 
 	f, err := os.Create(path)

@@ -26,7 +26,7 @@ import (
 var experimentOrder = []string{
 	"tab1", "fig3", "fig4", "fig8", "fig9", "fig10", "fig11", "fig12",
 	"fig13", "fig14", "fig15", "tab2", "fig16", "fig17", "fig18",
-	"sec636", "fig19",
+	"sec636", "fig19", "svcbatch",
 }
 
 func main() {
@@ -198,6 +198,12 @@ func run(id string, p experiments.Params) error {
 		emit(reval)
 	case "fig19":
 		t, err := experiments.Fig19(p)
+		if err != nil {
+			return err
+		}
+		emit(t)
+	case "svcbatch":
+		t, err := runSvcBatch(p)
 		if err != nil {
 			return err
 		}

@@ -1,0 +1,97 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"gigaflow"
+	"gigaflow/internal/experiments"
+	"gigaflow/internal/stats"
+	"gigaflow/internal/wiredemo"
+	"gigaflow/service"
+)
+
+// runSvcBatch measures the consolidated submission API on the wire-demo
+// pipeline: per-packet Submit against SubmitBatch at the default batch
+// size — the service-layer counterpart of the paper's §6.2 throughput
+// lever (amortizing per-packet work). Steady-state only: every flow is
+// warmed into the caches before the clock starts.
+func runSvcBatch(p experiments.Params) (*stats.Table, error) {
+	const (
+		flows   = 256
+		packets = 200000
+	)
+	rng := rand.New(rand.NewSource(p.Seed))
+	keys := make([]gigaflow.Key, flows)
+	for i := range keys {
+		keys[i] = wiredemo.Key(i, rng)
+	}
+
+	run := func(batchSize int) (time.Duration, error) {
+		svc, err := service.New(wiredemo.Pipeline(), service.Config{
+			Workers:           1,
+			MicroflowCapacity: 4 * flows,
+		})
+		if err != nil {
+			return 0, err
+		}
+		ctx := context.Background()
+		if err := svc.Start(ctx); err != nil {
+			return 0, err
+		}
+		defer svc.Close()
+		for _, k := range keys {
+			if _, err := svc.Submit(ctx, k); err != nil {
+				return 0, err
+			}
+		}
+		start := time.Now()
+		if batchSize <= 1 {
+			for sent := 0; sent < packets; sent++ {
+				if _, err := svc.Submit(ctx, keys[sent%flows]); err != nil {
+					return 0, err
+				}
+			}
+		} else {
+			b := service.NewBatch(batchSize)
+			for sent := 0; sent < packets; {
+				b.Reset()
+				for n := 0; n < batchSize && sent < packets; n++ {
+					b.Add(keys[sent%flows])
+					sent++
+				}
+				if err := svc.SubmitBatch(ctx, b); err != nil {
+					return 0, err
+				}
+			}
+		}
+		return time.Since(start), nil
+	}
+
+	single, err := run(1)
+	if err != nil {
+		return nil, err
+	}
+	batched, err := run(service.DefaultBatchSize)
+	if err != nil {
+		return nil, err
+	}
+
+	mpps := func(d time.Duration) float64 {
+		return float64(packets) / d.Seconds() / 1e6
+	}
+	t := &stats.Table{
+		Title:   "Service submission throughput (wire-demo, 1 worker, steady state)",
+		Headers: []string{"mode", "packets", "ns/pkt", "Mpkt/s"},
+	}
+	t.AddRow("Submit", packets,
+		fmt.Sprintf("%.0f", float64(single.Nanoseconds())/packets),
+		fmt.Sprintf("%.2f", mpps(single)))
+	t.AddRow(fmt.Sprintf("SubmitBatch/%d", service.DefaultBatchSize), packets,
+		fmt.Sprintf("%.0f", float64(batched.Nanoseconds())/packets),
+		fmt.Sprintf("%.2f", mpps(batched)))
+	t.AddRow("speedup", "", "", fmt.Sprintf("%.2fx", mpps(batched)/mpps(single)))
+	return t, nil
+}

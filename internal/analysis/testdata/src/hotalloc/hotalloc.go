@@ -103,6 +103,51 @@ type wireInfo struct {
 	headerLen int
 }
 
+// batchLookup mirrors the cache-tier batch accumulator: a value struct
+// holding a cache pointer and a local counter delta folded back in one
+// flush per batch.
+type batchLookup struct {
+	c     *cache
+	delta int
+}
+
+// hotBatch is the VSwitch.ProcessBatch idiom: caller-provided result
+// slices written in place with an `_ = out[...]` bounds hint, local
+// counters accumulated across the loop, a field-backed reusable buffer,
+// and a single fold into shared state at the end. Fully allocation-free;
+// the analyzer must stay silent.
+//
+//gf:hotpath
+func hotBatch(c *cache, keys []int, out []int) int {
+	if len(keys) == 0 {
+		return 0
+	}
+	_ = out[len(keys)-1]
+	b := batchLookup{c: c}
+	var hits int
+	for i := range keys {
+		c.buf = append(c.buf[:0], keys[i])
+		out[i] = c.buf[0]
+		b.delta++
+		hits++
+	}
+	b.c.n += b.delta
+	return hits
+}
+
+// hotBatchGather looks batch-shaped but accumulates results by appending
+// to a loop-local slice — the per-batch allocation the accumulator
+// pattern exists to avoid. The analyzer must flag it.
+//
+//gf:hotpath
+func hotBatchGather(keys []int) []int {
+	var res []int
+	for _, k := range keys {
+		res = append(res, k) // want "append to a non-field-backed slice"
+	}
+	return res
+}
+
 // coldAlloc allocates freely but carries no annotation: silent.
 func coldAlloc() []int {
 	s := fmt.Sprint("cold")

@@ -387,13 +387,23 @@ type Result struct {
 //
 //gf:hotpath
 func (c *Cache) Lookup(k flow.Key, now int64) Result {
+	return c.lookupStats(k, now, &c.stats)
+}
+
+// lookupStats is the Lookup body with its counter destination injected:
+// &c.stats for single lookups, a batch-local accumulator for BatchLookup.
+// Per-table hit counts, entry hit counts, and LRU positions always update
+// per packet; only the cache-wide counters are redirected.
+//
+//gf:hotpath
+func (c *Cache) lookupStats(k flow.Key, now int64, s *Stats) Result {
 	tag := c.startTag
 	cur := k
 	c.path = c.path[:0]
 	for _, t := range c.tables {
-		c.stats.TablesProbed++
+		s.TablesProbed++
 		e, probes := t.lookup(tag, cur)
-		c.stats.TupleProbes += uint64(probes)
+		s.TupleProbes += uint64(probes)
 		if e == nil {
 			continue
 		}
@@ -406,16 +416,51 @@ func (c *Cache) Lookup(k flow.Key, now int64) Result {
 				pe.LastHit = now
 				pe.table.touch(pe)
 			}
-			c.stats.Hits++
+			s.Hits++
 			return Result{Hit: true, Verdict: e.Verdict, Final: cur, Path: c.path}
 		}
 		tag = e.NextTag
 	}
-	c.stats.Misses++
+	s.Misses++
 	if len(c.path) > 0 {
-		c.stats.Stalls++
+		s.Stalls++
 	}
 	return Result{Path: c.path}
+}
+
+// BatchLookup accumulates the cache-wide lookup counters (hits, misses,
+// stalls, probe totals) locally so a packet batch updates Stats once, in
+// Flush, instead of once per packet. Results alias the same cache-owned
+// Path buffer as Lookup. The zero value is a no-op accumulator whose
+// Lookup must not be called; obtain usable values from Cache.BatchLookup.
+type BatchLookup struct {
+	c     *Cache
+	delta Stats
+}
+
+// BatchLookup starts a batched lookup sequence against c.
+func (c *Cache) BatchLookup() BatchLookup { return BatchLookup{c: c} }
+
+// Lookup is Cache.Lookup with counters deferred to Flush.
+//
+//gf:hotpath
+func (b *BatchLookup) Lookup(k flow.Key, now int64) Result {
+	return b.c.lookupStats(k, now, &b.delta)
+}
+
+// Flush folds the accumulated counters into the cache's Stats — the one
+// stats update the whole batch pays. Safe on the zero value.
+func (b *BatchLookup) Flush() {
+	if b.c == nil {
+		return
+	}
+	s := &b.c.stats
+	s.Hits += b.delta.Hits
+	s.Misses += b.delta.Misses
+	s.Stalls += b.delta.Stalls
+	s.TablesProbed += b.delta.TablesProbed
+	s.TupleProbes += b.delta.TupleProbes
+	b.delta = Stats{}
 }
 
 // Peek is Lookup without statistics or LRU side effects.

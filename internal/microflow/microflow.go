@@ -75,16 +75,56 @@ func (c *Cache) Snapshot() Snapshot {
 //
 //gf:hotpath
 func (c *Cache) Lookup(k flow.Key, now int64) (*Entry, bool) {
+	return c.lookupStats(k, now, &c.stats)
+}
+
+// lookupStats is the Lookup body with its counter destination injected:
+// &c.stats for single lookups, a batch-local accumulator for BatchLookup.
+// Entry hit counts and LRU position are per-entry state and always update
+// per packet; only the cache-wide counters are redirected.
+//
+//gf:hotpath
+func (c *Cache) lookupStats(k flow.Key, now int64, s *Stats) (*Entry, bool) {
 	e, ok := c.entries[k]
 	if !ok {
-		c.stats.Misses++
+		s.Misses++
 		return nil, false
 	}
 	e.Hits++
 	e.LastHit = now
 	c.touch(e)
-	c.stats.Hits++
+	s.Hits++
 	return e, true
+}
+
+// BatchLookup accumulates lookup counters locally so a packet batch
+// updates the cache-wide Stats once, in Flush, instead of once per
+// packet. The zero value is a no-op accumulator whose Lookup must not be
+// called; obtain usable values from Cache.BatchLookup.
+type BatchLookup struct {
+	c     *Cache
+	delta Stats
+}
+
+// BatchLookup starts a batched lookup sequence against c.
+func (c *Cache) BatchLookup() BatchLookup { return BatchLookup{c: c} }
+
+// Lookup is Cache.Lookup with counters deferred to Flush.
+//
+//gf:hotpath
+func (b *BatchLookup) Lookup(k flow.Key, now int64) (*Entry, bool) {
+	return b.c.lookupStats(k, now, &b.delta)
+}
+
+// Flush folds the accumulated counters into the cache's Stats — the one
+// stats update the whole batch pays. Safe on the zero value.
+func (b *BatchLookup) Flush() {
+	if b.c == nil {
+		return
+	}
+	b.c.stats.Hits += b.delta.Hits
+	b.c.stats.Misses += b.delta.Misses
+	b.delta = Stats{}
 }
 
 // Insert memoizes the result of processing k. An existing entry for k is

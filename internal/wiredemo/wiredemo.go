@@ -1,0 +1,76 @@
+// Package wiredemo is the shared wire-faithful demo setup: a small
+// pipeline whose every match field is carried in frame bytes, and a key
+// generator whose flows round-trip losslessly through the wire codec.
+// gfreplay uses it for self-contained -gen/-pcap loops, gigabench's
+// svcbatch experiment and the service benchmarks use it as the standard
+// workload for measuring the submission paths.
+package wiredemo
+
+import (
+	"fmt"
+	"math/rand"
+
+	"gigaflow"
+	wire "gigaflow/internal/packet"
+)
+
+// The demo shape: an L2 admission table, an L3 routing table of /32
+// destinations, and an L4 policy table.
+const (
+	// NumDsts is the number of /32 destinations in the L3 table.
+	NumDsts = 16
+	// NumPorts is the number of L4 service classes a rule index cycles
+	// through (three TCP ports plus DNS-over-UDP).
+	NumPorts = 4
+)
+
+// TCPPorts are the TCP destination ports admitted by the L4 table.
+var TCPPorts = [...]uint64{80, 443, 22}
+
+// NumFlowsUnique is the number of distinct (destination, service) rule
+// combinations Key can produce before cycling.
+const NumFlowsUnique = NumDsts * NumPorts
+
+// Pipeline builds the wire-demo pipeline: every match field is
+// frame-representable, so a decoded frame reproduces the synthesized key
+// exactly.
+func Pipeline() *gigaflow.Pipeline {
+	p := gigaflow.NewPipeline("wire-demo")
+	p.AddTable(0, "l2", gigaflow.NewFieldSet(gigaflow.FieldEthDst))
+	p.AddTable(1, "l3", gigaflow.NewFieldSet(gigaflow.FieldIPDst))
+	p.AddTable(2, "l4", gigaflow.NewFieldSet(gigaflow.FieldIPProto, gigaflow.FieldTpDst))
+	p.MustAddRule(0, gigaflow.MustParseMatch("eth_dst=02:00:00:00:00:01"), 10, nil, 1)
+	for i := 0; i < NumDsts; i++ {
+		m := gigaflow.MustParseMatch(fmt.Sprintf("ip_dst=10.1.0.%d", i))
+		p.MustAddRule(1, m, 10, nil, 2)
+	}
+	for i, port := range TCPPorts {
+		m := gigaflow.MustParseMatch(fmt.Sprintf("ip_proto=6,tp_dst=%d", port))
+		p.MustAddRule(2, m, 10, []gigaflow.Action{gigaflow.Output(uint16(i + 1))}, gigaflow.NoTable)
+	}
+	p.MustAddRule(2, gigaflow.MustParseMatch("ip_proto=17,tp_dst=53"), 10,
+		[]gigaflow.Action{gigaflow.Output(9)}, gigaflow.NoTable)
+	return p
+}
+
+// Key synthesizes one wire-faithful flow key for rule combination
+// ruleIdx: in_port and metadata stay zero (neither is a wire field),
+// everything else round-trips through encode→decode losslessly. The rng
+// varies the source fields, so distinct draws are distinct flows.
+func Key(ruleIdx int, rng *rand.Rand) gigaflow.Key {
+	var k gigaflow.Key
+	k.Set(gigaflow.FieldEthSrc, 0x020000000000|uint64(rng.Intn(1<<24)))
+	k.Set(gigaflow.FieldEthDst, 0x020000000001)
+	k.Set(gigaflow.FieldEthType, wire.EtherTypeIPv4)
+	k.Set(gigaflow.FieldIPSrc, uint64(0x0a000000+rng.Intn(1<<16)))
+	k.Set(gigaflow.FieldIPDst, uint64(0x0a010000+ruleIdx%NumDsts))
+	k.Set(gigaflow.FieldTpSrc, uint64(1024+rng.Intn(60000)))
+	if pick := ruleIdx % NumPorts; pick < len(TCPPorts) {
+		k.Set(gigaflow.FieldIPProto, wire.IPProtoTCP)
+		k.Set(gigaflow.FieldTpDst, TCPPorts[pick])
+	} else {
+		k.Set(gigaflow.FieldIPProto, wire.IPProtoUDP)
+		k.Set(gigaflow.FieldTpDst, 53)
+	}
+	return k
+}

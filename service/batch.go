@@ -1,0 +1,368 @@
+// Batched submission: the Request/Batch types and the single internal
+// submit path every public entry point (Submit, SubmitFrame, SubmitBatch,
+// SubmitFrameBatch, Replay, and the deprecated TrySubmit aliases) wraps.
+//
+// A batch is scattered by RSS shard into at most one job per worker, so
+// the whole batch crosses each worker channel once — the channel
+// round-trip, result delivery, and latency observation are amortized
+// across the batch instead of paid per packet, and the worker runs the
+// job through VSwitch.ProcessBatch, which amortizes the cache and stats
+// bookkeeping the same way.
+package service
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"gigaflow"
+)
+
+// Request is one packet of a Batch: the flow key to process and, once the
+// batch has been submitted, its Result.
+type Request struct {
+	// Key is the flow signature to process.
+	Key gigaflow.Key
+	// Result is the packet's outcome. Blocking submissions fill it in
+	// completely; nonblocking submissions record only the enqueue outcome
+	// in Result.Err (nil, or ErrQueueFull for a dropped packet).
+	//
+	// A Request whose Result.Err is already non-nil when the batch is
+	// submitted (a frame the decoder rejected, see SubmitFrameBatch) is
+	// skipped: it keeps its error and is never sent to a worker.
+	Result Result
+}
+
+// batchJob is one worker's slice of a submitted batch. It crosses the
+// worker channel as a single message; the worker processes keys through
+// VSwitch.ProcessBatch, writes res, fans results to resp when set, and
+// signals done.
+type batchJob struct {
+	keys []gigaflow.Key
+	idx  []int    // original request indices, parallel to keys
+	res  []Result // per-key results, parallel to keys
+
+	done     chan *batchJob // completion signal (nil for fire-and-forget)
+	resp     chan<- Result  // optional per-result fan-out
+	gathered bool           // completion collected by the submitter
+}
+
+// Batch is a reusable collection of Requests submitted as one unit.
+// Reset/Add refill it without reallocating, so a steady-state submitter
+// (Replay, the benchmarks) allocates nothing per batch.
+//
+// A Batch is not safe for concurrent use: it belongs to one submitting
+// goroutine and must not be read or modified while a SubmitBatch call on
+// it is in flight.
+type Batch struct {
+	reqs []Request
+	jobs []batchJob     // per-worker scatter scratch, reused across submissions
+	done chan *batchJob // completion channel, reused across submissions
+}
+
+// NewBatch creates an empty batch with room for capacity requests.
+func NewBatch(capacity int) *Batch {
+	return &Batch{reqs: make([]Request, 0, capacity)}
+}
+
+// Reset empties the batch for reuse, keeping its buffers.
+func (b *Batch) Reset() { b.reqs = b.reqs[:0] }
+
+// Len reports the number of requests in the batch.
+func (b *Batch) Len() int { return len(b.reqs) }
+
+// Add appends a request for key k with a zeroed Result.
+func (b *Batch) Add(k gigaflow.Key) {
+	b.reqs = append(b.reqs, Request{Key: k})
+}
+
+// addRejected appends a request that is already failed (a refused frame):
+// it carries err and is never submitted to a worker.
+func (b *Batch) addRejected(err error) {
+	b.reqs = append(b.reqs, Request{Result: Result{Err: err}})
+}
+
+// Request returns request i for in-place inspection of its Key and Result.
+func (b *Batch) Request(i int) *Request { return &b.reqs[i] }
+
+// Result returns request i's result.
+func (b *Batch) Result(i int) Result { return b.reqs[i].Result }
+
+// ensureJobs sizes the per-worker scatter scratch and clears it for a new
+// submission.
+func (b *Batch) ensureJobs(nw int) {
+	if cap(b.jobs) < nw {
+		b.jobs = make([]batchJob, nw)
+	}
+	b.jobs = b.jobs[:nw]
+	for i := range b.jobs {
+		j := &b.jobs[i]
+		j.keys = j.keys[:0]
+		j.idx = j.idx[:0]
+		j.done = nil
+		j.resp = nil
+		j.gathered = false
+	}
+	if b.done == nil || cap(b.done) < nw {
+		b.done = make(chan *batchJob, nw)
+	}
+}
+
+// submitOpts collects per-call submission options.
+type submitOpts struct {
+	nonblocking bool
+	resp        chan<- Result
+}
+
+// SubmitOption configures a single submission call.
+type SubmitOption func(*submitOpts)
+
+// Nonblocking makes the submission enqueue-only: it never waits for a
+// verdict, and a packet whose target worker queue is full is dropped with
+// ErrQueueFull (counted against that worker) instead of blocking. Unlike
+// blocking submission it does not require a started service — packets
+// simply queue until workers exist to drain them.
+func Nonblocking() SubmitOption {
+	return func(o *submitOpts) { o.nonblocking = true }
+}
+
+// WithResponse directs every processed Result of a nonblocking submission
+// to resp (dropped packets produce no send). The channel must have
+// capacity for all results routed to it — the worker's send is blocking.
+// It has no effect on blocking submissions, whose results land in the
+// Batch (or the returned Result) already.
+func WithResponse(resp chan<- Result) SubmitOption {
+	return func(o *submitOpts) { o.resp = resp }
+}
+
+// batchPool recycles single-request batches so the Submit wrapper stays
+// allocation-free at steady state.
+var batchPool = sync.Pool{New: func() any { return NewBatch(1) }}
+
+// Submit processes one packet. By default it blocks until the verdict is
+// available and returns it; with Nonblocking it only enqueues (the
+// returned Result is zero; pair with WithResponse to receive the verdict
+// asynchronously). Flows with the same 5-tuple always reach the same
+// worker. Errors: ErrNotStarted, ErrClosed, ErrQueueFull (nonblocking),
+// ctx.Err(), or the packet's own pipeline error.
+func (s *Service) Submit(ctx context.Context, k gigaflow.Key, opts ...SubmitOption) (Result, error) {
+	var o submitOpts
+	for _, opt := range opts {
+		opt(&o)
+	}
+	if o.nonblocking {
+		return Result{}, s.enqueueOne(k, o.resp)
+	}
+	b := batchPool.Get().(*Batch)
+	b.Reset()
+	b.Add(k)
+	err := s.submit(ctx, b, o)
+	r := b.reqs[0].Result
+	batchPool.Put(b)
+	if err != nil {
+		return Result{}, err
+	}
+	return r, r.Err
+}
+
+// SubmitBatch submits every request in b as one unit: the batch is
+// scattered into at most one message per worker, each worker processes
+// its share through the batched hot path, and per-request Results land
+// back in b positionally.
+//
+// Blocking (default): returns after every request has its Result; order
+// within a worker is submission order, and a request's error (pipeline
+// failure) is in its Result.Err while call-level failures (ErrNotStarted,
+// ErrClosed, ctx.Err()) are returned. Even on a call-level failure every
+// request that reached a worker is drained before returning, so b is
+// always safe to reuse; requests that never ran carry the call error in
+// their Result.Err.
+//
+// With Nonblocking: requests are enqueued without waiting; a request
+// whose worker queue is full gets ErrQueueFull in its Result.Err, the
+// rest have Result.Err nil with verdicts unreported (use WithResponse to
+// stream them). The batch may be reused immediately.
+func (s *Service) SubmitBatch(ctx context.Context, b *Batch, opts ...SubmitOption) error {
+	var o submitOpts
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return s.submit(ctx, b, o)
+}
+
+// submit is the single internal submission path. Requests pre-marked with
+// an error (rejected frames) are skipped.
+func (s *Service) submit(ctx context.Context, b *Batch, o submitOpts) error {
+	if len(b.reqs) == 0 {
+		return nil
+	}
+	if o.nonblocking {
+		return s.submitNonblocking(b, o.resp)
+	}
+	switch s.state.Load() {
+	case stateNew:
+		return ErrNotStarted
+	case stateClosed:
+		return ErrClosed
+	}
+	return s.submitBlocking(ctx, b, o.resp)
+}
+
+// submitBlocking scatters b into per-worker jobs backed by the batch's
+// own reusable buffers, enqueues each job as one message, and gathers
+// completions. On context cancellation or service shutdown it still
+// drains every job already handed to a worker — workers write into the
+// batch's buffers, so returning while one is in flight would corrupt the
+// next use of the batch and leak its results.
+func (s *Service) submitBlocking(ctx context.Context, b *Batch, resp chan<- Result) error {
+	// An already-cancelled context must fail deterministically: the enqueue
+	// select below picks at random among ready cases, and an open
+	// worker-queue slot would otherwise race ctx.Done.
+	if err := ctx.Err(); err != nil {
+		for i := range b.reqs {
+			if b.reqs[i].Result.Err == nil {
+				b.reqs[i].Result = Result{Err: err}
+			}
+		}
+		return err
+	}
+	nw := len(s.workers)
+	b.ensureJobs(nw)
+	for i := range b.reqs {
+		if b.reqs[i].Result.Err != nil {
+			continue // pre-rejected (bad frame): never submitted
+		}
+		w := int(keyShard(b.reqs[i].Key) % uint64(nw))
+		j := &b.jobs[w]
+		j.keys = append(j.keys, b.reqs[i].Key)
+		j.idx = append(j.idx, i)
+	}
+
+	start := time.Now()
+	enqueued := 0
+	var callErr error
+enqueue:
+	for w := range b.jobs {
+		j := &b.jobs[w]
+		if len(j.keys) == 0 {
+			continue
+		}
+		j.done = b.done
+		j.resp = resp
+		if cap(j.res) < len(j.keys) {
+			j.res = make([]Result, len(j.keys))
+		}
+		j.res = j.res[:len(j.keys)]
+		select {
+		case s.workers[w].in <- packet{job: j}:
+			enqueued++
+		case <-ctx.Done():
+			callErr = ctx.Err()
+			break enqueue
+		case <-s.term:
+			callErr = ErrClosed
+			break enqueue
+		}
+	}
+
+	for collected := 0; collected < enqueued; {
+		select {
+		case j := <-b.done:
+			j.gathered = true
+			for i, ri := range j.idx {
+				b.reqs[ri].Result = j.res[i]
+			}
+			collected++
+		case <-s.term:
+			// The workers have exited. Every completion they delivered
+			// happened before term closed, so a nonblocking drain of
+			// b.done is complete; jobs still sitting in dead queues will
+			// never be touched again and are safe to abandon.
+			for drained := true; drained && collected < enqueued; {
+				select {
+				case j := <-b.done:
+					j.gathered = true
+					for i, ri := range j.idx {
+						b.reqs[ri].Result = j.res[i]
+					}
+					collected++
+				default:
+					drained = false
+				}
+			}
+			if callErr == nil {
+				callErr = ErrClosed
+			}
+			collected = enqueued
+		}
+	}
+
+	if callErr != nil {
+		// Requests that never ran (job not enqueued, or abandoned at
+		// shutdown) carry the call-level error so per-index inspection
+		// stays meaningful.
+		for w := range b.jobs {
+			j := &b.jobs[w]
+			if j.gathered {
+				continue
+			}
+			for _, ri := range j.idx {
+				b.reqs[ri].Result = Result{Err: callErr}
+			}
+		}
+		return callErr
+	}
+	s.latency.Observe(float64(time.Since(start).Nanoseconds()))
+	return nil
+}
+
+// submitNonblocking scatters b into freshly allocated worker-owned jobs —
+// the caller may reuse the batch the moment we return, so nonblocking
+// jobs cannot alias its buffers. Full queues drop that worker's whole
+// job, recording ErrQueueFull per request.
+func (s *Service) submitNonblocking(b *Batch, resp chan<- Result) error {
+	nw := len(s.workers)
+	perWorker := make([]*batchJob, nw)
+	for i := range b.reqs {
+		if b.reqs[i].Result.Err != nil {
+			continue // pre-rejected (bad frame): never submitted
+		}
+		w := int(keyShard(b.reqs[i].Key) % uint64(nw))
+		j := perWorker[w]
+		if j == nil {
+			j = &batchJob{resp: resp}
+			perWorker[w] = j
+		}
+		j.keys = append(j.keys, b.reqs[i].Key)
+		j.idx = append(j.idx, i)
+		b.reqs[i].Result = Result{}
+	}
+	for w, j := range perWorker {
+		if j == nil {
+			continue
+		}
+		j.res = make([]Result, len(j.keys))
+		select {
+		case s.workers[w].in <- packet{job: j}:
+		default:
+			s.workers[w].drops.Add(uint64(len(j.keys)))
+			for _, ri := range j.idx {
+				b.reqs[ri].Result = Result{Err: ErrQueueFull}
+			}
+		}
+	}
+	return nil
+}
+
+// enqueueOne is the single-packet nonblocking path: one packet message,
+// no job bookkeeping — the legacy TrySubmit fast path.
+func (s *Service) enqueueOne(k gigaflow.Key, resp chan<- Result) error {
+	w := s.workers[int(keyShard(k)%uint64(len(s.workers)))]
+	select {
+	case w.in <- packet{key: k, resp: resp}:
+		return nil
+	default:
+		w.drops.Add(1)
+		return ErrQueueFull
+	}
+}

@@ -1,0 +1,103 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"testing"
+
+	"gigaflow"
+)
+
+// benchService builds a warmed 1-worker service over the test pipeline:
+// every flow the benchmark submits is already resident in the microflow
+// cache, so the measurement isolates submission overhead (channel
+// crossings, result plumbing, per-packet vs per-batch bookkeeping)
+// rather than slowpath traversal cost.
+func benchService(b *testing.B, flows int) (*Service, []gigaflow.Key) {
+	b.Helper()
+	s, err := New(buildPipeline(), Config{
+		Workers:           1,
+		Cache:             gigaflow.CacheConfig{NumTables: 3, TableCapacity: 3 * 1024},
+		MicroflowCapacity: 4 * flows,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	if err := s.Start(ctx); err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { s.Close() })
+	keys := make([]gigaflow.Key, flows)
+	for i := range keys {
+		keys[i] = key(uint64(i), 80)
+		if _, err := s.Submit(ctx, keys[i]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return s, keys
+}
+
+func benchSubmit(b *testing.B) {
+	s, keys := benchService(b, 64)
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Submit(ctx, keys[i%len(keys)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchSubmitBatch(b *testing.B) {
+	s, keys := benchService(b, 64)
+	ctx := context.Background()
+	batch := NewBatch(DefaultBatchSize)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for sent := 0; sent < b.N; {
+		batch.Reset()
+		for n := 0; n < DefaultBatchSize && sent < b.N; n++ {
+			batch.Add(keys[sent%len(keys)])
+			sent++
+		}
+		if err := s.SubmitBatch(ctx, batch); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSubmit measures the per-packet blocking submission path: one
+// channel round-trip and one result per packet.
+func BenchmarkSubmit(b *testing.B) { benchSubmit(b) }
+
+// BenchmarkSubmitBatch measures the batched blocking path at the default
+// batch size: the channel round-trip, stats update, and latency sample
+// are amortized over DefaultBatchSize packets.
+func BenchmarkSubmitBatch(b *testing.B) { benchSubmitBatch(b) }
+
+// TestBatchThroughputGate is the regression gate behind `make bench-gate`:
+// batched submission must stay at least 2x faster per packet than
+// per-packet submission on the same warmed service. Skipped unless
+// GF_BENCH_GATE=1 — wall-clock benchmarks have no place in the default
+// unit-test run.
+func TestBatchThroughputGate(t *testing.T) {
+	if os.Getenv("GF_BENCH_GATE") != "1" {
+		t.Skip("set GF_BENCH_GATE=1 to run the batch throughput gate")
+	}
+	single := testing.Benchmark(benchSubmit)
+	batched := testing.Benchmark(benchSubmitBatch)
+	sNs := float64(single.NsPerOp())
+	bNs := float64(batched.NsPerOp())
+	speedup := sNs / bNs
+	t.Logf("Submit: %.0f ns/pkt, SubmitBatch/%d: %.0f ns/pkt, speedup %.2fx",
+		sNs, DefaultBatchSize, bNs, speedup)
+	fmt.Printf("bench-gate: Submit %.0f ns/pkt, SubmitBatch/%d %.0f ns/pkt, speedup %.2fx (floor 2.00x)\n",
+		sNs, DefaultBatchSize, bNs, speedup)
+	if speedup < 2 {
+		t.Fatalf("batched submission is only %.2fx per-packet submission (floor 2x): %0.f vs %.0f ns/pkt",
+			speedup, bNs, sNs)
+	}
+}

@@ -2,16 +2,11 @@ package service
 
 import (
 	"context"
-	"errors"
 
 	"gigaflow"
 	wire "gigaflow/internal/packet"
 	"gigaflow/internal/telemetry"
 )
-
-// ErrShortFrame rejects a frame too short to carry even an Ethernet
-// header; there is nothing for the pipeline to forward on.
-var ErrShortFrame = errors.New("service: frame shorter than an Ethernet header")
 
 // frameMetrics pre-resolves the byte-level ingestion counters into
 // arrays indexed by the codec's dense Proto and ErrCode enums, so the
@@ -82,18 +77,42 @@ func (s *Service) DecodeFrame(inPort uint16, frame []byte) (gigaflow.Key, wire.I
 }
 
 // SubmitFrame decodes a raw Ethernet frame received on inPort and
-// submits the resulting key, blocking for its Result like Submit.
-// Frames with decode defects degrade to the longest well-formed prefix
-// of the key and are still forwarded (the pipeline decides their fate);
-// only a frame too short to carry an Ethernet header is rejected, with
-// ErrShortFrame. Decode outcomes are counted in the metrics registry
-// either way.
-func (s *Service) SubmitFrame(ctx context.Context, inPort uint16, frame []byte) (Result, error) {
+// submits the resulting key with Submit's semantics (blocking by
+// default; the Nonblocking and WithResponse options apply). Frames with
+// decode defects degrade to the longest well-formed prefix of the key
+// and are still forwarded (the pipeline decides their fate); only a
+// frame too short to carry an Ethernet header is rejected, with
+// ErrShortFrame (a *FrameError matching ErrBadFrame). Decode outcomes
+// are counted in the metrics registry either way.
+func (s *Service) SubmitFrame(ctx context.Context, inPort uint16, frame []byte, opts ...SubmitOption) (Result, error) {
 	k, info := s.DecodeFrame(inPort, frame)
 	if info.Err == wire.ErrShortFrame {
 		return Result{}, ErrShortFrame
 	}
-	return s.Submit(ctx, k)
+	return s.Submit(ctx, k, opts...)
+}
+
+// SubmitFrameBatch decodes frames (all received on inPort) into b —
+// which it Resets first — and submits the decodable ones as a single
+// batch with SubmitBatch's semantics. The batch is index-aligned with
+// frames: request i holds frame i's key and Result. Frames the decoder
+// refuses are never submitted; their requests carry the *FrameError in
+// Result.Err (matching ErrBadFrame and the specific sentinel, e.g.
+// ErrShortFrame), so a mixed batch reports per-index outcomes. Each
+// frame is decoded before the next is read, so the caller may back all
+// of frames with one reused buffer per record (the pcap reader's
+// streaming contract).
+func (s *Service) SubmitFrameBatch(ctx context.Context, inPort uint16, frames [][]byte, b *Batch, opts ...SubmitOption) error {
+	b.Reset()
+	for _, f := range frames {
+		k, info := s.DecodeFrame(inPort, f)
+		if info.Err == wire.ErrShortFrame {
+			b.addRejected(&FrameError{Code: info.Err})
+			continue
+		}
+		b.Add(k)
+	}
+	return s.SubmitBatch(ctx, b, opts...)
 }
 
 // TrySubmitFrame is the non-blocking twin of SubmitFrame: it decodes
@@ -101,10 +120,10 @@ func (s *Service) SubmitFrame(ctx context.Context, inPort uint16, frame []byte) 
 // worker's queue is full (counted as a queue-full drop) or the frame
 // is too short to decode (counted as a decode error). resp follows the
 // TrySubmit contract.
+//
+// Deprecated: use SubmitFrame with the Nonblocking option (and
+// WithResponse for the result channel).
 func (s *Service) TrySubmitFrame(inPort uint16, frame []byte, resp chan<- Result) bool {
-	k, info := s.DecodeFrame(inPort, frame)
-	if info.Err == wire.ErrShortFrame {
-		return false
-	}
-	return s.TrySubmit(k, resp)
+	_, err := s.SubmitFrame(context.Background(), inPort, frame, Nonblocking(), WithResponse(resp))
+	return err == nil
 }

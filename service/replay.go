@@ -24,15 +24,27 @@ type ReplayConfig struct {
 	// Speedup compresses (>1) or stretches (<1) the trace timeline in
 	// Timed mode (default 1.0).
 	Speedup float64
-	// Blocking submits each frame and waits for its result — no frame
+	// Blocking submits each batch and waits for its results — no frame
 	// is ever dropped, which keeps the replayed cache behaviour
-	// identical to direct key submission. The default is
-	// fire-and-forget TrySubmit, the overload semantics of a real rx
-	// ring, with queue-full drops counted.
+	// identical to direct key submission. The default is fire-and-forget
+	// nonblocking submission, the overload semantics of a real rx ring,
+	// with queue-full drops counted.
 	Blocking bool
 	// Limit stops after this many records (0 replays everything).
 	Limit int
+	// BatchSize groups decoded frames into batches of this many before
+	// submission (default DefaultBatchSize); each batch crosses a worker
+	// channel at most once per worker. 1 reproduces per-packet
+	// submission exactly. Batching never reorders frames bound for the
+	// same worker, so cache behaviour and final stats are identical at
+	// any batch size (in Blocking mode, where nothing is dropped).
+	BatchSize int
 }
+
+// DefaultBatchSize is the replay batch size when ReplayConfig leaves
+// BatchSize zero — big enough to amortize the per-batch channel and
+// bookkeeping cost, small enough to keep per-frame latency irrelevant.
+const DefaultBatchSize = 32
 
 // ReplayReport summarises one replay.
 type ReplayReport struct {
@@ -67,20 +79,61 @@ type ReplayReport struct {
 	Elapsed time.Duration
 }
 
-// Replay streams a pcap capture through the service frame frontend and
-// reports what happened. The service must be started. In non-blocking
-// mode the report's Stats are still complete: the final stats snapshot
-// runs as a control op behind every submitted frame on each worker's
-// FIFO queue, so it observes all of them.
+// Replay streams a pcap capture through the service frame frontend in
+// batches of cfg.BatchSize and reports what happened. The service must
+// be started. In non-blocking mode the report's Stats are still
+// complete: the final stats snapshot runs as a control op behind every
+// submitted frame on each worker's FIFO queue, so it observes all of
+// them.
+//
+// On context cancellation every batch already handed to the workers is
+// drained before Replay returns (SubmitBatch gathers its in-flight
+// results even on failure), so a cancelled replay leaks no goroutine
+// and no pending result.
 func (s *Service) Replay(ctx context.Context, r *pcap.Reader, cfg ReplayConfig) (ReplayReport, error) {
 	if cfg.Speedup <= 0 {
 		cfg.Speedup = 1
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = DefaultBatchSize
 	}
 	var rep ReplayReport
 	before, err := s.Stats(ctx)
 	if err != nil {
 		return rep, err
 	}
+
+	batch := NewBatch(cfg.BatchSize)
+	flush := func() error {
+		if batch.Len() == 0 {
+			return nil
+		}
+		var err error
+		if cfg.Blocking {
+			err = s.SubmitBatch(ctx, batch)
+		} else {
+			err = s.SubmitBatch(ctx, batch, Nonblocking())
+		}
+		if err != nil {
+			return err
+		}
+		for i := 0; i < batch.Len(); i++ {
+			switch e := batch.Result(i).Err; {
+			case e == nil:
+				rep.Submitted++
+			case errors.Is(e, ErrQueueFull):
+				rep.QueueDrops++
+			default:
+				// A per-packet pipeline error is a property of the
+				// ruleset, not the replay; count it and keep going.
+				rep.Submitted++
+				rep.PipelineErrs++
+			}
+		}
+		batch.Reset()
+		return nil
+	}
+
 	start := time.Now()
 	var traceStart int64
 	for cfg.Limit <= 0 || rep.Frames < cfg.Limit {
@@ -103,6 +156,11 @@ func (s *Service) Replay(ctx context.Context, r *pcap.Reader, cfg ReplayConfig) 
 			}
 			offset := time.Duration(float64(rec.TimeNs-traceStart) / cfg.Speedup)
 			if wait := time.Until(start.Add(offset)); wait > 0 {
+				// Flush before pacing so frames already decoded are not
+				// held past their trace slots by later ones.
+				if err := flush(); err != nil {
+					return rep, err
+				}
 				select {
 				case <-ctx.Done():
 					return rep, ctx.Err()
@@ -121,21 +179,15 @@ func (s *Service) Replay(ctx context.Context, r *pcap.Reader, cfg ReplayConfig) 
 		if info.Err != wire.ErrOK {
 			rep.DecodeErrors++
 		}
-		if cfg.Blocking {
-			if _, err := s.Submit(ctx, k); err != nil {
-				if ctx.Err() != nil {
-					return rep, ctx.Err()
-				}
-				// A per-packet pipeline error is a property of the
-				// ruleset, not the replay; count it and keep going.
-				rep.PipelineErrs++
+		batch.Add(k)
+		if batch.Len() >= cfg.BatchSize {
+			if err := flush(); err != nil {
+				return rep, err
 			}
-			rep.Submitted++
-		} else if s.TrySubmit(k, nil) {
-			rep.Submitted++
-		} else {
-			rep.QueueDrops++
 		}
+	}
+	if err := flush(); err != nil {
+		return rep, err
 	}
 	rep.Elapsed = time.Since(start)
 	after, err := s.Stats(ctx)

@@ -3,9 +3,12 @@ package service
 import (
 	"bytes"
 	"context"
+	"errors"
 	"fmt"
 	"math/rand"
+	"runtime"
 	"testing"
+	"time"
 
 	"gigaflow"
 	wire "gigaflow/internal/packet"
@@ -206,5 +209,123 @@ func TestReplayTruncatedCapture(t *testing.T) {
 	}
 	if rep.Frames != len(pkts)-1 {
 		t.Fatalf("replayed %d frames, want %d", rep.Frames, len(pkts)-1)
+	}
+}
+
+// TestReplayBatchSizeEquivalence replays the same capture bytes at batch
+// size 1 (per-packet submission, exactly the pre-batching behaviour) and
+// at the default batch size into identically configured services: the
+// VSwitch counter deltas must be identical. This is the "batching never
+// changes behaviour" contract at the replay layer.
+func TestReplayBatchSizeEquivalence(t *testing.T) {
+	pkts := replayTrace(t)
+	var buf bytes.Buffer
+	if err := pcap.WriteTrace(&buf, pkts); err != nil {
+		t.Fatal(err)
+	}
+	capture := buf.Bytes()
+
+	ctx := context.Background()
+	replayAt := func(batchSize int) ReplayReport {
+		t.Helper()
+		s := newReplayService(t)
+		r, err := pcap.NewReader(bytes.NewReader(capture))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := s.Replay(ctx, r, ReplayConfig{Blocking: true, BatchSize: batchSize})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+
+	one := replayAt(1)
+	batched := replayAt(DefaultBatchSize)
+	if one.Stats != batched.Stats {
+		t.Fatalf("batch size changed replay behaviour:\nbatch=1  %+v\nbatch=%d %+v",
+			one.Stats, DefaultBatchSize, batched.Stats)
+	}
+	if one.Frames != batched.Frames || one.Submitted != batched.Submitted {
+		t.Fatalf("frame accounting diverged: %+v vs %+v", one, batched)
+	}
+	if one.Stats.Packets != uint64(len(pkts)) {
+		t.Fatalf("stats cover %d packets, want %d", one.Stats.Packets, len(pkts))
+	}
+}
+
+// TestReplayCancelDrainsInFlight cancels a timed replay mid-capture (the
+// trace has a 10s gap the test never waits out) and requires: Replay
+// returns ctx.Err() promptly, every batch handed to the workers was
+// gathered (no pending result), the service still closes cleanly, and no
+// goroutine leaks past shutdown.
+func TestReplayCancelDrainsInFlight(t *testing.T) {
+	pkts := replayTrace(t)
+	// Re-time the trace: the first half plays instantly, then a 10s gap
+	// the cancellation interrupts.
+	for i := range pkts {
+		if i < len(pkts)/2 {
+			pkts[i].Time = 0
+		} else {
+			pkts[i].Time = 10_000_000_000
+		}
+	}
+	var buf bytes.Buffer
+	if err := pcap.WriteTrace(&buf, pkts); err != nil {
+		t.Fatal(err)
+	}
+
+	baseline := runtime.NumGoroutine()
+	s, err := New(replayPipeline(), Config{
+		Workers:           2,
+		Cache:             gigaflow.CacheConfig{NumTables: 3, TableCapacity: 512},
+		MicroflowCapacity: 256,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	r, err := pcap.NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	rep, err := s.Replay(ctx, r, ReplayConfig{Timed: true, Blocking: true})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled replay returned %v, want context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("cancelled replay took %v — it waited out the trace gap", elapsed)
+	}
+	// Everything flushed before the pacing wait was fully gathered: the
+	// report's submission accounting covers every frame it read.
+	if rep.Submitted+rep.QueueDrops+rep.Rejected < len(pkts)/2 {
+		t.Fatalf("first half of the trace not accounted for: %+v", rep)
+	}
+
+	if err := s.Close(); err != nil {
+		t.Fatalf("close after cancelled replay: %v", err)
+	}
+	// Goroutine count settles back to the pre-service baseline (allow
+	// slack for runtime/test goroutines winding down).
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= baseline+2 {
+			break
+		} else if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			t.Fatalf("goroutines leaked after cancelled replay: %d > baseline %d\n%s",
+				n, baseline, buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(10 * time.Millisecond)
 	}
 }

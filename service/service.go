@@ -167,13 +167,14 @@ type Result struct {
 	Err      error
 }
 
-// packet is one queued unit of work: a flow key to forward, or a control
-// function (rule update / revalidation / expiry) executed inline on the
-// worker goroutine so its pipeline and cache are never touched
-// concurrently.
+// packet is one queued unit of work: a flow key to forward, a batch job
+// (many keys crossing the channel as one message), or a control function
+// (rule update / revalidation / expiry) executed inline on the worker
+// goroutine so its pipeline and cache are never touched concurrently.
 type packet struct {
 	key     gigaflow.Key
 	resp    chan<- Result
+	job     *batchJob
 	control func()
 }
 
@@ -183,9 +184,22 @@ type worker struct {
 	in    chan packet
 	label string // worker index, precomputed for metric labels
 
-	drops atomic.Uint64 // TrySubmit rejections due to a full queue
+	// Scratch for ProcessBatch output, grown to the largest job seen so
+	// the steady-state batch path allocates nothing.
+	procOut []gigaflow.ProcessResult
+	procErr []error
+
+	drops atomic.Uint64 // nonblocking rejections due to a full queue
 	skips atomic.Uint64 // expiry sweeps skipped due to a full queue
 }
+
+// Lifecycle states, tracked in Service.state so the submission hot path
+// can check them with one atomic load.
+const (
+	stateNew int32 = iota
+	stateRunning
+	stateClosed
+)
 
 // Service is a running multi-worker vSwitch.
 type Service struct {
@@ -199,11 +213,12 @@ type Service struct {
 	started atomic.Int64 // start wall time (unix ns); 0 before Start
 	tsrv    *telemetryServer
 
-	mu        sync.Mutex
-	cancel    context.CancelFunc
-	done      sync.WaitGroup
-	isStarted bool
-	closed    bool
+	state atomic.Int32  // stateNew → stateRunning → stateClosed
+	term  chan struct{} // closed once every worker has exited
+
+	mu     sync.Mutex
+	cancel context.CancelFunc
+	done   sync.WaitGroup
 }
 
 // New builds a service around a pipeline. Each worker receives its own
@@ -219,6 +234,7 @@ func New(p *gigaflow.Pipeline, cfg Config) (*Service, error) {
 		cfg:    cfg,
 		reg:    telemetry.NewRegistry(),
 		tracer: telemetry.NewTracer(cfg.TraceSample, cfg.TraceBuffer),
+		term:   make(chan struct{}),
 	}
 	s.latency = s.reg.Histogram("gigaflow_submit_latency_ns",
 		"End-to-end Submit latency (enqueue to result) in nanoseconds.")
@@ -259,14 +275,18 @@ func New(p *gigaflow.Pipeline, cfg Config) (*Service, error) {
 }
 
 // Start launches the workers and the expiry ticker. Cancel ctx or call
-// Close to stop.
+// Close to stop. Errors: ErrStarted on a second Start, ErrClosed after
+// Close.
 func (s *Service) Start(ctx context.Context) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.isStarted {
-		return errors.New("service: already started")
+	switch s.state.Load() {
+	case stateRunning:
+		return ErrStarted
+	case stateClosed:
+		return ErrClosed
 	}
-	s.isStarted = true
+	s.state.Store(stateRunning)
 	s.started.Store(time.Now().UnixNano())
 	ctx, s.cancel = context.WithCancel(ctx)
 	for _, w := range s.workers {
@@ -277,6 +297,13 @@ func (s *Service) Start(ctx context.Context) error {
 		s.done.Add(1)
 		go s.runExpiry(ctx)
 	}
+	// The watcher closes term once every worker has exited — whether the
+	// shutdown came from Close or from the caller cancelling ctx — so
+	// batch submitters gathering completions always unblock.
+	go func() {
+		s.done.Wait()
+		close(s.term)
+	}()
 	if s.cfg.TelemetryAddr != "" {
 		if err := s.startTelemetry(s.cfg.TelemetryAddr); err != nil {
 			s.cancel()
@@ -291,16 +318,83 @@ func (s *Service) runWorker(ctx context.Context, w *worker) {
 	for {
 		select {
 		case <-ctx.Done():
+			w.drain()
 			return
 		case pkt := <-w.in:
-			if pkt.control != nil {
+			w.run(pkt)
+		}
+	}
+}
+
+// run executes one queued message on the worker goroutine.
+func (w *worker) run(pkt packet) {
+	switch {
+	case pkt.control != nil:
+		pkt.control()
+	case pkt.job != nil:
+		w.runJob(pkt.job)
+	default:
+		res, err := w.vs.Process(pkt.key, time.Now().UnixNano())
+		if pkt.resp != nil {
+			pkt.resp <- Result{Verdict: res.Verdict, Final: res.Final, CacheHit: res.CacheHit, Err: err}
+		}
+	}
+}
+
+// runJob processes one batch job: a single ProcessBatch call covers every
+// key — one VSwitch stats flush and one counter flush per cache tier for
+// the whole job — then results fan back to the submitter, who paid one
+// channel message for all of them.
+func (w *worker) runJob(j *batchJob) {
+	n := len(j.keys)
+	if cap(w.procOut) < n {
+		w.procOut = make([]gigaflow.ProcessResult, n)
+		w.procErr = make([]error, n)
+	}
+	out := w.procOut[:n]
+	errs := w.procErr[:n]
+	w.vs.ProcessBatch(j.keys, out, errs, time.Now().UnixNano())
+	for i := 0; i < n; i++ {
+		j.res[i] = Result{Verdict: out[i].Verdict, Final: out[i].Final, CacheHit: out[i].CacheHit, Err: errs[i]}
+		if j.resp != nil {
+			j.resp <- j.res[i]
+		}
+	}
+	if j.done != nil {
+		j.done <- j
+	}
+}
+
+// drain completes work still queued at shutdown so blocking submitters
+// are never stranded: control ops run normally (they only touch
+// worker-owned state and buffered channels), while packets and jobs fail
+// with ErrClosed. The loop stops as soon as the queue is momentarily
+// empty — late nonblocking submissions after that point are dropped with
+// the queue, exactly like packets lost in a NIC ring at teardown.
+func (w *worker) drain() {
+	for {
+		select {
+		case pkt := <-w.in:
+			switch {
+			case pkt.control != nil:
 				pkt.control()
-				continue
+			case pkt.job != nil:
+				for i := range pkt.job.res {
+					pkt.job.res[i] = Result{Err: ErrClosed}
+				}
+				if pkt.job.done != nil {
+					pkt.job.done <- pkt.job
+				}
+			default:
+				if pkt.resp != nil {
+					select {
+					case pkt.resp <- Result{Err: ErrClosed}:
+					default:
+					}
+				}
 			}
-			res, err := w.vs.Process(pkt.key, time.Now().UnixNano())
-			if pkt.resp != nil {
-				pkt.resp <- Result{Verdict: res.Verdict, Final: res.Final, CacheHit: res.CacheHit, Err: err}
-			}
+		default:
+			return
 		}
 	}
 }
@@ -328,40 +422,16 @@ func (s *Service) runExpiry(ctx context.Context) {
 	}
 }
 
-// Submit enqueues a packet for processing and waits for its Result. Flows
-// with the same 5-tuple always reach the same worker.
-func (s *Service) Submit(ctx context.Context, k gigaflow.Key) (Result, error) {
-	w := s.workers[int(keyShard(k)%uint64(len(s.workers)))]
-	resp := make(chan Result, 1)
-	start := time.Now()
-	select {
-	case <-ctx.Done():
-		return Result{}, ctx.Err()
-	case w.in <- packet{key: k, resp: resp}:
-	}
-	select {
-	case <-ctx.Done():
-		return Result{}, ctx.Err()
-	case r := <-resp:
-		s.latency.Observe(float64(time.Since(start).Nanoseconds()))
-		return r, r.Err
-	}
-}
-
 // TrySubmit enqueues a packet without blocking: it reports false — and
 // counts a queue-full drop against the target worker — when that worker's
-// queue is full, the overload behaviour of a real NIC rx ring. resp may be
-// nil for fire-and-forget; otherwise it must have capacity for the result
-// (the worker's send is blocking).
+// queue is full. resp may be nil for fire-and-forget; otherwise it must
+// have capacity for the result (the worker's send is blocking).
+//
+// Deprecated: use Submit with the Nonblocking option (and WithResponse
+// for the result channel); it reports the same condition as ErrQueueFull.
 func (s *Service) TrySubmit(k gigaflow.Key, resp chan<- Result) bool {
-	w := s.workers[int(keyShard(k)%uint64(len(s.workers)))]
-	select {
-	case w.in <- packet{key: k, resp: resp}:
-		return true
-	default:
-		w.drops.Add(1)
-		return false
-	}
+	_, err := s.Submit(context.Background(), k, Nonblocking(), WithResponse(resp))
+	return err == nil
 }
 
 // UpdateRules applies a deterministic mutation to every worker's pipeline
@@ -462,21 +532,27 @@ func (s *Service) CacheEntries() int {
 }
 
 // Close stops the workers, the telemetry server, and waits for them to
-// exit.
+// exit. Work still queued is drained: control ops run, packets and jobs
+// complete with ErrClosed. Errors: ErrNotStarted before Start, ErrClosed
+// on a second Close.
 func (s *Service) Close() error {
 	s.mu.Lock()
-	if !s.isStarted || s.closed {
+	switch s.state.Load() {
+	case stateNew:
 		s.mu.Unlock()
-		return errors.New("service: not running")
+		return ErrNotStarted
+	case stateClosed:
+		s.mu.Unlock()
+		return ErrClosed
 	}
-	s.closed = true
+	s.state.Store(stateClosed)
 	tsrv := s.tsrv
 	s.mu.Unlock()
 	if tsrv != nil {
 		tsrv.stop()
 	}
 	s.cancel()
-	s.done.Wait()
+	<-s.term // the Start watcher closes term once every worker has exited
 	return nil
 }
 
