@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: ci build test race vet lint fmt-check bench bench-gate deprecated-check fuzz fuzz-regress
+.PHONY: ci build test race vet lint fmt-check bench bench-gate bench-json deprecated-check fuzz fuzz-regress
 
 ## ci: the standard verification gate — vet, build, race-enabled tests,
 ## the project linter, a gofmt cleanliness check, the deprecated-alias
@@ -36,12 +36,22 @@ fmt-check:
 bench:
 	$(GO) test -run xxx -bench . -benchmem ./...
 
-## bench-gate: the batched-submission throughput floor — SubmitBatch at
-## the default batch size must stay at least 2x faster per packet than
-## per-packet Submit on the warmed service pipeline. Wall-clock, so it is
-## opt-in (not part of `test`), gated by GF_BENCH_GATE=1.
+## bench-gate: wall-clock performance floors, opt-in (not part of `test`),
+## gated by GF_BENCH_GATE=1:
+##   - SubmitBatch at the default batch size must stay at least 2x faster
+##     per packet than per-packet Submit on the warmed service pipeline.
+##   - the fused-probe classifier must beat the map-backed baseline by at
+##     least 1.4x on the cold high-mask-diversity slow-path sweep, at zero
+##     allocations.
 bench-gate:
 	GF_BENCH_GATE=1 $(GO) test -run TestBatchThroughputGate -count=1 -v ./service
+	GF_BENCH_GATE=1 $(GO) test -run TestSlowpathProbeGate -count=1 -v ./internal/tss
+
+## bench-json: regenerate BENCH_slowpath.json — wall-clock slow-path (cold
+## caches, low locality, high mask diversity) and hit-path (warm) per-packet
+## cost on both backends, with allocs/op and hit rates.
+bench-json:
+	$(GO) run ./cmd/gigabench -exp slowpath -flows 20000 -json BENCH_slowpath.json
 
 ## deprecated-check: no new callers of the deprecated TrySubmit /
 ## TrySubmitFrame aliases outside the service package (where they are

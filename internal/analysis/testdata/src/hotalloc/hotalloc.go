@@ -3,7 +3,10 @@
 // clean/cold functions prove it stays silent on the fixed patterns.
 package hotalloc
 
-import "fmt"
+import (
+	"fmt"
+	"math/bits"
+)
 
 type big struct{ a, b, c int }
 
@@ -146,6 +149,64 @@ func hotBatchGather(keys []int) []int {
 		res = append(res, k) // want "append to a non-field-backed slice"
 	}
 	return res
+}
+
+// probeSlot / probeTable mirror internal/flowtable's open-addressing
+// layout: slots carry a stored hash, a fixed-size key array, and a value.
+type probeSlot struct {
+	hash uint64
+	key  [4]uint64
+	val  int
+}
+
+type probeTable struct {
+	mask   [4]uint64
+	words  [4]uint8
+	nwords int
+	probe  [4]uint64
+	slots  []probeSlot
+}
+
+// hotFusedProbe is the internal/flowtable lookup idiom: one pass over the
+// precomputed non-zero mask word indices that simultaneously masks the key
+// into a table-owned scratch array and folds a multiply-mix hash, then a
+// linear probe over the slot array with stored-hash early reject and
+// masked-word comparison against the scratch. Nothing escapes, nothing
+// allocates; the analyzer must stay silent.
+//
+//gf:hotpath
+func hotFusedProbe(t *probeTable, k *[4]uint64) (int, bool) {
+	h := uint64(0x9e3779b97f4a7c15)
+	for i := 0; i < t.nwords; i++ {
+		w := t.words[i]
+		mw := k[w] & t.mask[w]
+		t.probe[i] = mw
+		hi, lo := bits.Mul64(mw^0xa0761d6478bd642f, h)
+		h = hi ^ lo
+	}
+	if h == 0 {
+		h = 0x9e3779b97f4a7c15
+	}
+	m := uint64(len(t.slots) - 1)
+	for j := h & m; ; j = (j + 1) & m {
+		s := &t.slots[j]
+		if s.hash == 0 {
+			return 0, false
+		}
+		if s.hash != h {
+			continue
+		}
+		match := true
+		for i := 0; i < t.nwords; i++ {
+			if s.key[t.words[i]]&t.mask[t.words[i]] != t.probe[i] {
+				match = false
+				break
+			}
+		}
+		if match {
+			return s.val, true
+		}
+	}
 }
 
 // coldAlloc allocates freely but carries no annotation: silent.

@@ -1,0 +1,335 @@
+// Package flowtable provides the specialized hash table behind every
+// matching tier: a stdlib-only, open-addressing store keyed by flow.Key
+// under a fixed per-table wildcard mask.
+//
+// Every tier of the cache hierarchy — the Microflow exact-match cache, the
+// Megaflow TSS classifier, and the Gigaflow LTM's per-tag classifiers —
+// ultimately answers the same question: "which stored key equals this
+// packet's key on the bits my mask cares about?" A Go map answers it the
+// expensive way: copy the 80-byte key through Key.Apply(mask), then hash
+// all ten words again inside the map runtime. This table answers it with a
+// fused mask+hash probe: the indices of the mask's non-zero words are
+// precomputed at construction, and one pass over only those words masks
+// the probe key and folds it through an inline wyhash-style multiply mix
+// at the same time. The masked words are retained in a scratch buffer so
+// candidate comparison reuses them instead of re-deriving the masked key.
+//
+// Layout and policy:
+//
+//   - power-of-two slot count with linear probing;
+//   - the 64-bit hash is stored alongside each entry, so probe collisions
+//     are rejected on one word compare before any key words are touched
+//     (hash 0 marks an empty slot; computed hashes are never 0);
+//   - deletion backshifts the probe chain (no tombstones), so lookup cost
+//     never degrades under churn and load factor is exact;
+//   - growth doubles at 3/4 load and relocates by stored hash — keys are
+//     never rehashed after insert;
+//   - iteration (Iter/Range) walks slots in index order, which is a pure
+//     function of the operation history: the hash is seedless and
+//     deterministic, so two tables driven through the same sequence of
+//     inserts and deletes iterate identically, run after run. Expiry and
+//     revalidation sweeps built on it stay replay-deterministic.
+//
+// Lookup is allocation-free (enforced by gflint's hotalloc analyzer via
+// the //gf:hotpath annotations). Tables are not safe for concurrent use:
+// even Lookup writes the probe scratch buffer. Every tier in this
+// repository is single-goroutine by design (one core drives the slowpath),
+// so the shared scratch costs nothing.
+package flowtable
+
+import (
+	"math/bits"
+
+	"gigaflow/internal/flow"
+)
+
+const (
+	// hashInit seeds the word fold (the 64-bit golden ratio); it also
+	// substitutes for a computed hash of zero so slot hashes are never 0.
+	hashInit = 0x9e3779b97f4a7c15
+	// hashMul is the wyhash primary multiplier, xored into each masked
+	// word before the 128-bit multiply fold.
+	hashMul = 0xa0761d6478bd642f
+
+	// minSlots is the smallest table; small enough that empty tuples stay
+	// cheap, large enough to avoid immediate growth.
+	minSlots = 8
+)
+
+// slot is one open-addressing cell. hash==0 means empty.
+type slot[V any] struct {
+	hash uint64
+	key  flow.Key // normalized: zero outside the table mask
+	val  V
+}
+
+// Table maps flow keys, compared under a fixed mask, to values of type V.
+// The zero value is not usable; construct with New or NewExact.
+type Table[V any] struct {
+	mask flow.Mask
+	// words holds the indices of the mask's non-zero words; the fused
+	// probe touches only these. nwords is the live prefix length.
+	words  [flow.NumFields]uint8
+	nwords int
+	// probe is the scratch buffer the fused hash pass fills with the
+	// masked words of the key being looked up; candidate comparison reads
+	// it back instead of re-masking.
+	probe [flow.NumFields]uint64
+
+	slots  []slot[V]
+	count  int
+	growAt int // count threshold that triggers doubling (3/4 load)
+}
+
+// New builds a table whose keys are compared under mask, pre-sized so that
+// sizeHint entries fit without growth (sizeHint <= 0 gets the minimum).
+func New[V any](mask flow.Mask, sizeHint int) *Table[V] {
+	t := &Table[V]{mask: mask}
+	for f := 0; f < flow.NumFields; f++ {
+		if mask[f] != 0 {
+			t.words[t.nwords] = uint8(f)
+			t.nwords++
+		}
+	}
+	n := minSlots
+	for n*3/4 < sizeHint {
+		n <<= 1
+	}
+	t.init(n)
+	return t
+}
+
+// NewExact builds a full-mask (exact-match) table: every key word is
+// significant, as the Microflow tier requires.
+func NewExact[V any](sizeHint int) *Table[V] {
+	return New[V](flow.FullMask(), sizeHint)
+}
+
+func (t *Table[V]) init(n int) {
+	t.slots = make([]slot[V], n)
+	t.count = 0
+	t.growAt = n * 3 / 4
+}
+
+// Len reports the number of stored entries.
+func (t *Table[V]) Len() int { return t.count }
+
+// Cap reports the current slot count (capacity before collisions).
+func (t *Table[V]) Cap() int { return len(t.slots) }
+
+// Mask returns the wildcard mask keys are compared under.
+func (t *Table[V]) Mask() flow.Mask { return t.mask }
+
+// probeHash is the fused mask+hash pass: one loop over the mask's
+// non-zero words masks the key, records each masked word in the probe
+// scratch, and folds it through the wyhash-style mix. No 80-byte Apply
+// copy, no second full-key hash.
+//
+//gf:hotpath
+func (t *Table[V]) probeHash(k *flow.Key) uint64 {
+	h := uint64(hashInit)
+	for i := 0; i < t.nwords; i++ {
+		w := t.words[i]
+		mw := k[w] & t.mask[w]
+		t.probe[i] = mw
+		hi, lo := bits.Mul64(mw^hashMul, h)
+		h = hi ^ lo
+	}
+	if h == 0 {
+		h = hashInit // 0 is the empty-slot sentinel
+	}
+	return h
+}
+
+// probeEqual reports whether a stored (normalized) key equals the masked
+// words captured by the last probeHash call.
+//
+//gf:hotpath
+func (t *Table[V]) probeEqual(sk *flow.Key) bool {
+	for i := 0; i < t.nwords; i++ {
+		if sk[t.words[i]] != t.probe[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Lookup finds the value stored for k under the table mask. It is the hot
+// probe shared by every tier: fused mask+hash, then a linear scan with
+// stored-hash early reject.
+//
+//gf:hotpath
+func (t *Table[V]) Lookup(k flow.Key) (V, bool) {
+	h := t.probeHash(&k)
+	m := uint64(len(t.slots) - 1)
+	for i := h & m; ; i = (i + 1) & m {
+		s := &t.slots[i]
+		if s.hash == 0 {
+			var zero V
+			return zero, false
+		}
+		if s.hash == h && t.probeEqual(&s.key) {
+			return s.val, true
+		}
+	}
+}
+
+// Contains reports whether a value is stored for k.
+//
+//gf:hotpath
+func (t *Table[V]) Contains(k flow.Key) bool {
+	_, ok := t.Lookup(k)
+	return ok
+}
+
+// Put stores v for k (masked), replacing any existing value; it reports
+// whether a value was replaced.
+func (t *Table[V]) Put(k flow.Key, v V) (replaced bool) {
+	if t.count >= t.growAt {
+		t.grow()
+	}
+	h := t.probeHash(&k)
+	m := uint64(len(t.slots) - 1)
+	for i := h & m; ; i = (i + 1) & m {
+		s := &t.slots[i]
+		if s.hash == 0 {
+			s.hash = h
+			s.key = t.normalizedProbeKey()
+			s.val = v
+			t.count++
+			return false
+		}
+		if s.hash == h && t.probeEqual(&s.key) {
+			s.val = v
+			return true
+		}
+	}
+}
+
+// normalizedProbeKey reconstructs the masked key from the probe scratch
+// filled by the last probeHash call — the canonical representative stored
+// in the slot.
+func (t *Table[V]) normalizedProbeKey() flow.Key {
+	var nk flow.Key
+	for i := 0; i < t.nwords; i++ {
+		nk[t.words[i]] = t.probe[i]
+	}
+	return nk
+}
+
+// Delete removes the entry for k, reporting whether one existed. Removal
+// backshifts the probe chain: every displaced entry after the hole is
+// moved back unless that would skip past its home slot, so no tombstones
+// are left behind.
+func (t *Table[V]) Delete(k flow.Key) bool {
+	h := t.probeHash(&k)
+	m := uint64(len(t.slots) - 1)
+	i := h & m
+	for {
+		s := &t.slots[i]
+		if s.hash == 0 {
+			return false
+		}
+		if s.hash == h && t.probeEqual(&s.key) {
+			break
+		}
+		i = (i + 1) & m
+	}
+	// Backshift deletion: slide chain members into the hole while doing so
+	// keeps them no earlier than their home slot.
+	j := i
+	for {
+		j = (j + 1) & m
+		s := &t.slots[j]
+		if s.hash == 0 {
+			break
+		}
+		home := s.hash & m
+		if (j-home)&m >= (j-i)&m {
+			t.slots[i] = *s
+			i = j
+		}
+	}
+	t.slots[i] = slot[V]{}
+	t.count--
+	return true
+}
+
+// grow doubles the slot array, relocating entries by their stored hashes —
+// keys are never rehashed after insertion.
+func (t *Table[V]) grow() {
+	old := t.slots
+	t.init(len(old) * 2)
+	m := uint64(len(t.slots) - 1)
+	for oi := range old {
+		s := &old[oi]
+		if s.hash == 0 {
+			continue
+		}
+		i := s.hash & m
+		for t.slots[i].hash != 0 {
+			i = (i + 1) & m
+		}
+		t.slots[i] = *s
+		t.count++
+	}
+}
+
+// Reset drops every entry but keeps the current allocation, so a bounded
+// cache can invalidate wholesale without disturbing its steady-state size.
+func (t *Table[V]) Reset() {
+	for i := range t.slots {
+		t.slots[i] = slot[V]{}
+	}
+	t.count = 0
+}
+
+// Iter returns a slot-order iterator. The order is deterministic: it
+// depends only on the sequence of Put/Delete calls, never on a per-process
+// seed (unlike Go map iteration). The table must not be mutated while an
+// iterator is live.
+func (t *Table[V]) Iter() Iter[V] { return Iter[V]{t: t, i: -1} }
+
+// Iter walks a table's occupied slots in index order. The zero value is
+// exhausted; obtain live iterators from Table.Iter.
+type Iter[V any] struct {
+	t *Table[V]
+	i int
+}
+
+// Next advances to the next occupied slot, reporting whether one exists.
+//
+//gf:hotpath
+func (it *Iter[V]) Next() bool {
+	if it.t == nil {
+		return false
+	}
+	for it.i++; it.i < len(it.t.slots); it.i++ {
+		if it.t.slots[it.i].hash != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Key returns the current entry's (normalized) key. Valid only after a
+// Next call that returned true.
+//
+//gf:hotpath
+func (it *Iter[V]) Key() flow.Key { return it.t.slots[it.i].key }
+
+// Value returns the current entry's value. Valid only after a Next call
+// that returned true.
+//
+//gf:hotpath
+func (it *Iter[V]) Value() V { return it.t.slots[it.i].val }
+
+// Range calls fn for every entry in deterministic slot order until fn
+// returns false. The table must not be mutated during Range.
+func (t *Table[V]) Range(fn func(flow.Key, V) bool) {
+	for it := t.Iter(); it.Next(); {
+		if !fn(it.Key(), it.Value()) {
+			return
+		}
+	}
+}

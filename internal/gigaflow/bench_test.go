@@ -1,0 +1,36 @@
+package gigaflow
+
+import (
+	"math/rand"
+	"testing"
+
+	"gigaflow/internal/flow"
+)
+
+// BenchmarkCacheLookupHit is the LTM hit path: a K-table feed-forward walk
+// where each table probe is a tag-grouped TSS lookup over fused-probe flow
+// tables.
+func BenchmarkCacheLookupHit(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	p := diffChainPipeline()
+	c := New(p, Config{NumTables: 3, TableCapacity: 1024})
+	keys := make([]flow.Key, 0, 256)
+	for len(keys) < cap(keys) {
+		k := diffChainKey(rng)
+		tr, err := p.Process(k)
+		if err != nil {
+			continue
+		}
+		if _, err := c.Insert(tr, 0); err != nil {
+			b.Fatal(err)
+		}
+		keys = append(keys, k)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if res := c.Lookup(keys[i%len(keys)], int64(i)); !res.Hit {
+			b.Fatal("miss")
+		}
+	}
+}

@@ -1,0 +1,31 @@
+package megaflow
+
+import (
+	"math/rand"
+	"testing"
+
+	"gigaflow/internal/flow"
+)
+
+// BenchmarkCacheLookupHit is the megaflow tier's wildcard hit path: a
+// staged TSS walk whose tuples are fused-probe flow tables.
+func BenchmarkCacheLookupHit(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	p := diffPipeline()
+	c := New(1 << 12)
+	keys := make([]flow.Key, 256)
+	for i := range keys {
+		k := diffKey(rng)
+		if _, ok := c.Peek(k); !ok {
+			c.Insert(p.MustProcess(k), 0)
+		}
+		keys[i] = k
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := c.Lookup(keys[i%len(keys)], int64(i)); !ok {
+			b.Fatal("miss")
+		}
+	}
+}

@@ -1,0 +1,53 @@
+package microflow
+
+import (
+	"math/rand"
+	"testing"
+
+	"gigaflow/internal/flow"
+)
+
+func benchCache(n int) (*Cache, []flow.Key, []flow.Key) {
+	rng := rand.New(rand.NewSource(1))
+	c := New(n)
+	hits := make([]flow.Key, n)
+	misses := make([]flow.Key, n)
+	for i := range hits {
+		hits[i] = flow.Key{}.
+			With(flow.FieldIPSrc, rng.Uint64()).
+			With(flow.FieldIPDst, rng.Uint64()).
+			With(flow.FieldTpSrc, uint64(i))
+		misses[i] = flow.Key{}.
+			With(flow.FieldIPSrc, rng.Uint64()).
+			With(flow.FieldIPDst, rng.Uint64()).
+			With(flow.FieldTpDst, uint64(i))
+		c.Insert(hits[i], hits[i], flow.Verdict{Kind: flow.VerdictOutput, Port: 1}, 0)
+	}
+	return c, hits, misses
+}
+
+// BenchmarkCacheLookupHit is the exact-match first-tier hit path: one
+// fused probe on the full-mask flow table plus LRU touch.
+func BenchmarkCacheLookupHit(b *testing.B) {
+	c, hits, _ := benchCache(4096)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := c.Lookup(hits[i%len(hits)], int64(i)); !ok {
+			b.Fatal("miss")
+		}
+	}
+}
+
+// BenchmarkCacheLookupMiss is the exact-match miss path — what every
+// packet pays before falling through to the main cache.
+func BenchmarkCacheLookupMiss(b *testing.B) {
+	c, _, misses := benchCache(4096)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := c.Lookup(misses[i%len(misses)], int64(i)); ok {
+			b.Fatal("unexpected hit")
+		}
+	}
+}

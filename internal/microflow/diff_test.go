@@ -1,0 +1,229 @@
+package microflow
+
+import (
+	"math/rand"
+	"testing"
+
+	"gigaflow/internal/flow"
+)
+
+// refEntry / refCache are the pre-flowtable microflow cache, kept verbatim
+// as the differential-test reference: a Go map keyed by the exact flow.Key
+// with the same intrusive LRU list. Lookup results, entry state, eviction
+// choices, and every Stats counter must stay bit-identical to Cache's.
+type refEntry struct {
+	Key     flow.Key
+	Final   flow.Key
+	Verdict flow.Verdict
+	Hits    uint64
+	LastHit int64
+
+	prev, next *refEntry
+}
+
+type refCache struct {
+	capacity int
+	entries  map[flow.Key]*refEntry
+	lruHead  *refEntry
+	lruTail  *refEntry
+	stats    Stats
+}
+
+func newRef(capacity int) *refCache {
+	return &refCache{capacity: capacity, entries: make(map[flow.Key]*refEntry, capacity)}
+}
+
+func (c *refCache) Lookup(k flow.Key, now int64) (*refEntry, bool) {
+	e, ok := c.entries[k]
+	if !ok {
+		c.stats.Misses++
+		return nil, false
+	}
+	e.Hits++
+	e.LastHit = now
+	c.touch(e)
+	c.stats.Hits++
+	return e, true
+}
+
+func (c *refCache) Insert(k, final flow.Key, v flow.Verdict, now int64) *refEntry {
+	if old, ok := c.entries[k]; ok {
+		old.Final, old.Verdict, old.LastHit = final, v, now
+		c.touch(old)
+		return old
+	}
+	if len(c.entries) >= c.capacity {
+		if t := c.lruTail; t != nil {
+			c.remove(t)
+			c.stats.EvictLRU++
+		}
+	}
+	e := &refEntry{Key: k, Final: final, Verdict: v, LastHit: now}
+	c.entries[k] = e
+	c.pushFront(e)
+	c.stats.Inserts++
+	return e
+}
+
+func (c *refCache) ExpireIdle(now, maxIdle int64) int {
+	var stale []*refEntry
+	for _, e := range c.entries {
+		if now-e.LastHit > maxIdle {
+			stale = append(stale, e)
+		}
+	}
+	for _, e := range stale {
+		c.remove(e)
+		c.stats.Expired++
+	}
+	return len(stale)
+}
+
+func (c *refCache) Invalidate() int {
+	n := len(c.entries)
+	c.entries = make(map[flow.Key]*refEntry, c.capacity)
+	c.lruHead, c.lruTail = nil, nil
+	c.stats.Invalid += uint64(n)
+	return n
+}
+
+func (c *refCache) remove(e *refEntry) {
+	delete(c.entries, e.Key)
+	c.unlink(e)
+}
+
+func (c *refCache) pushFront(e *refEntry) {
+	e.prev = nil
+	e.next = c.lruHead
+	if c.lruHead != nil {
+		c.lruHead.prev = e
+	}
+	c.lruHead = e
+	if c.lruTail == nil {
+		c.lruTail = e
+	}
+}
+
+func (c *refCache) unlink(e *refEntry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else if c.lruHead == e {
+		c.lruHead = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else if c.lruTail == e {
+		c.lruTail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+func (c *refCache) touch(e *refEntry) {
+	if c.lruHead == e {
+		return
+	}
+	c.unlink(e)
+	c.pushFront(e)
+}
+
+// TestDifferentialAgainstMapBackedCache drives the flowtable-backed cache
+// and the verbatim old map-backed implementation through the same
+// randomized lookup/insert/expire/invalidate sequence with a tight
+// capacity (heavy LRU churn) and demands bit-identical observables.
+func TestDifferentialAgainstMapBackedCache(t *testing.T) {
+	for seed := int64(1); seed <= 6; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		got := New(64)
+		ref := newRef(64)
+		key := func() flow.Key {
+			// ~3x capacity key space: plenty of misses and evictions.
+			return flow.Key{}.With(flow.FieldIPDst, uint64(rng.Intn(192)))
+		}
+		var now int64
+		for step := 0; step < 8000; step++ {
+			now++
+			switch op := rng.Intn(20); {
+			case op < 12: // lookup
+				k := key()
+				ge, gok := got.Lookup(k, now)
+				re, rok := ref.Lookup(k, now)
+				if gok != rok {
+					t.Fatalf("seed %d step %d: Lookup ok=%v ref=%v", seed, step, gok, rok)
+				}
+				if gok && (ge.Final != re.Final || ge.Verdict != re.Verdict ||
+					ge.Hits != re.Hits || ge.LastHit != re.LastHit) {
+					t.Fatalf("seed %d step %d: entry state %+v ref %+v", seed, step, ge, re)
+				}
+			case op < 18: // insert
+				k := key()
+				final := k.With(flow.FieldIPDst, uint64(rng.Intn(16)))
+				v := flow.Verdict{Kind: flow.VerdictKind(rng.Intn(3)), Port: uint16(rng.Intn(8))}
+				got.Insert(k, final, v, now)
+				ref.Insert(k, final, v, now)
+			case op == 18: // expire a random idle horizon
+				maxIdle := int64(rng.Intn(200))
+				gn := got.ExpireIdle(now, maxIdle)
+				rn := ref.ExpireIdle(now, maxIdle)
+				if gn != rn {
+					t.Fatalf("seed %d step %d: ExpireIdle=%d ref=%d", seed, step, gn, rn)
+				}
+			default: // rare full invalidation
+				gn := got.Invalidate()
+				rn := ref.Invalidate()
+				if gn != rn {
+					t.Fatalf("seed %d step %d: Invalidate=%d ref=%d", seed, step, gn, rn)
+				}
+			}
+			if got.Len() != len(ref.entries) {
+				t.Fatalf("seed %d step %d: Len=%d ref=%d", seed, step, got.Len(), len(ref.entries))
+			}
+			if got.Stats() != ref.stats {
+				t.Fatalf("seed %d step %d: stats %+v ref %+v", seed, step, got.Stats(), ref.stats)
+			}
+		}
+		// Same resident key set, same per-entry state.
+		for it := got.entries.Iter(); it.Next(); {
+			e := it.Value()
+			re, ok := ref.entries[e.Key]
+			if !ok {
+				t.Fatalf("seed %d: key %s resident only in flowtable cache", seed, e.Key)
+			}
+			if e.Final != re.Final || e.Verdict != re.Verdict || e.Hits != re.Hits || e.LastHit != re.LastHit {
+				t.Fatalf("seed %d: entry %s state %+v ref %+v", seed, e.Key, e, re)
+			}
+		}
+	}
+}
+
+// TestBatchLookupDifferential checks that deferred-stats batches observe
+// and produce the same state as the reference's immediate updates.
+func TestBatchLookupDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	got := New(32)
+	ref := newRef(32)
+	var now int64
+	for round := 0; round < 200; round++ {
+		b := got.BatchLookup()
+		for i := 0; i < 16; i++ {
+			now++
+			k := flow.Key{}.With(flow.FieldIPDst, uint64(rng.Intn(96)))
+			ge, gok := b.Lookup(k, now)
+			re, rok := ref.Lookup(k, now)
+			if gok != rok {
+				t.Fatalf("round %d: batch Lookup ok=%v ref=%v", round, gok, rok)
+			}
+			if !gok {
+				final := k.With(flow.FieldTpDst, 80)
+				v := flow.Verdict{Kind: flow.VerdictOutput, Port: 1}
+				got.Insert(k, final, v, now)
+				ref.Insert(k, final, v, now)
+			} else if ge.Hits != re.Hits {
+				t.Fatalf("round %d: hits %d ref %d", round, ge.Hits, re.Hits)
+			}
+		}
+		b.Flush()
+		if got.Stats() != ref.stats {
+			t.Fatalf("round %d: stats after flush %+v ref %+v", round, got.Stats(), ref.stats)
+		}
+	}
+}

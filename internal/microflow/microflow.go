@@ -7,6 +7,7 @@ import (
 	"fmt"
 
 	"gigaflow/internal/flow"
+	"gigaflow/internal/flowtable"
 )
 
 // Entry is one exact-match cache entry: the memoized result of processing
@@ -41,9 +42,11 @@ type Snapshot struct {
 }
 
 // Cache is a capacity-bounded exact-match cache with LRU replacement.
+// Entries live in a full-mask fused-probe flow table (internal/flowtable),
+// pre-sized to capacity so the steady state never rehashes.
 type Cache struct {
 	capacity int
-	entries  map[flow.Key]*Entry
+	entries  *flowtable.Table[*Entry]
 	lruHead  *Entry
 	lruTail  *Entry
 	stats    Stats
@@ -54,11 +57,11 @@ func New(capacity int) *Cache {
 	if capacity <= 0 {
 		panic(fmt.Sprintf("microflow: bad capacity %d", capacity))
 	}
-	return &Cache{capacity: capacity, entries: make(map[flow.Key]*Entry, capacity)}
+	return &Cache{capacity: capacity, entries: flowtable.NewExact[*Entry](capacity)}
 }
 
 // Len reports the number of cached entries.
-func (c *Cache) Len() int { return len(c.entries) }
+func (c *Cache) Len() int { return c.entries.Len() }
 
 // Capacity reports the entry limit.
 func (c *Cache) Capacity() int { return c.capacity }
@@ -85,7 +88,7 @@ func (c *Cache) Lookup(k flow.Key, now int64) (*Entry, bool) {
 //
 //gf:hotpath
 func (c *Cache) lookupStats(k flow.Key, now int64, s *Stats) (*Entry, bool) {
-	e, ok := c.entries[k]
+	e, ok := c.entries.Lookup(k)
 	if !ok {
 		s.Misses++
 		return nil, false
@@ -130,29 +133,30 @@ func (b *BatchLookup) Flush() {
 // Insert memoizes the result of processing k. An existing entry for k is
 // overwritten.
 func (c *Cache) Insert(k, final flow.Key, v flow.Verdict, now int64) *Entry {
-	if old, ok := c.entries[k]; ok {
+	if old, ok := c.entries.Lookup(k); ok {
 		old.Final, old.Verdict, old.LastHit = final, v, now
 		c.touch(old)
 		return old
 	}
-	if len(c.entries) >= c.capacity {
+	if c.entries.Len() >= c.capacity {
 		if t := c.lruTail; t != nil {
 			c.remove(t)
 			c.stats.EvictLRU++
 		}
 	}
 	e := &Entry{Key: k, Final: final, Verdict: v, LastHit: now}
-	c.entries[k] = e
+	c.entries.Put(k, e)
 	c.pushFront(e)
 	c.stats.Inserts++
 	return e
 }
 
-// ExpireIdle removes entries idle for longer than maxIdle.
+// ExpireIdle removes entries idle for longer than maxIdle. The sweep
+// order is flowtable's deterministic slot order.
 func (c *Cache) ExpireIdle(now, maxIdle int64) int {
 	var stale []*Entry
-	for _, e := range c.entries {
-		if now-e.LastHit > maxIdle {
+	for it := c.entries.Iter(); it.Next(); {
+		if e := it.Value(); now-e.LastHit > maxIdle {
 			stale = append(stale, e)
 		}
 	}
@@ -165,17 +169,18 @@ func (c *Cache) ExpireIdle(now, maxIdle int64) int {
 
 // Invalidate drops every entry; called when pipeline rules change, since
 // exact-match entries carry no wildcard against which to revalidate
-// incrementally.
+// incrementally. The table's allocation is retained (the tier is
+// capacity-pinned).
 func (c *Cache) Invalidate() int {
-	n := len(c.entries)
-	c.entries = make(map[flow.Key]*Entry, c.capacity)
+	n := c.entries.Len()
+	c.entries.Reset()
 	c.lruHead, c.lruTail = nil, nil
 	c.stats.Invalid += uint64(n)
 	return n
 }
 
 func (c *Cache) remove(e *Entry) {
-	delete(c.entries, e.Key)
+	c.entries.Delete(e.Key)
 	c.unlink(e)
 }
 

@@ -3,13 +3,15 @@
 // both OpenFlow tables and the Megaflow cache.
 //
 // Rules are grouped into "tuples" by identical wildcard mask; each tuple is
-// a hash table keyed by the masked flow key. A lookup probes tuples in
-// decreasing order of their maximum rule priority and stops as soon as the
-// best match found so far outranks every remaining tuple — the same
-// staged-lookup optimisation OVS applies. The per-lookup cost is O(M) hash
-// probes in the worst case, M being the number of distinct masks; the
-// classifier reports probe counts so the simulator can charge CPU cycles
-// accordingly.
+// a fused mask+hash flow table (internal/flowtable) keyed by the masked
+// flow key: probing a tuple masks and hashes the packet key in one pass
+// over the mask's non-zero words — no 80-byte Apply copy, no second
+// full-key hash, no Go map overhead. A lookup probes tuples in decreasing
+// order of their maximum rule priority and stops as soon as the best match
+// found so far outranks every remaining tuple — the same staged-lookup
+// optimisation OVS applies. The per-lookup cost is O(M) hash probes in the
+// worst case, M being the number of distinct masks; the classifier reports
+// probe counts so the simulator can charge CPU cycles accordingly.
 package tss
 
 import (
@@ -17,6 +19,7 @@ import (
 	"sort"
 
 	"gigaflow/internal/flow"
+	"gigaflow/internal/flowtable"
 )
 
 // Entry is one classifier rule: a ternary match with a priority and an
@@ -27,10 +30,12 @@ type Entry[T any] struct {
 	Value    T
 }
 
-// tuple is the set of rules sharing one mask, hashed by masked key.
+// tuple is the set of rules sharing one mask: a fused-probe table from
+// masked key to the bucket of entries with that exact predicate, sorted
+// by priority descending.
 type tuple[T any] struct {
 	mask    flow.Mask
-	entries map[flow.Key][]*Entry[T] // per masked key, sorted by priority desc
+	table   *flowtable.Table[[]*Entry[T]]
 	count   int
 	maxPrio int
 }
@@ -43,6 +48,9 @@ type Classifier[T any] struct {
 	order []*tuple[T]
 	dirty bool
 	count int
+	// probed is the reusable scratch LookupWildPrecise records its pass-1
+	// tuple visits into (one entry per probe, bounded by NumTuples).
+	probed []*tuple[T]
 
 	// Probes counts cumulative tuple hash probes across all lookups, and
 	// Lookups the number of Lookup calls; both feed the CPU cost model.
@@ -67,11 +75,11 @@ func (c *Classifier[T]) Insert(e *Entry[T]) (replaced bool) {
 	e.Match = e.Match.Normalize()
 	tp := c.tuples[e.Match.Mask]
 	if tp == nil {
-		tp = &tuple[T]{mask: e.Match.Mask, entries: make(map[flow.Key][]*Entry[T])}
+		tp = &tuple[T]{mask: e.Match.Mask, table: flowtable.New[[]*Entry[T]](e.Match.Mask, 0)}
 		c.tuples[e.Match.Mask] = tp
 		c.dirty = true
 	}
-	bucket := tp.entries[e.Match.Key]
+	bucket, _ := tp.table.Lookup(e.Match.Key)
 	for i, old := range bucket {
 		if old.Priority == e.Priority {
 			bucket[i] = e
@@ -83,7 +91,7 @@ func (c *Classifier[T]) Insert(e *Entry[T]) (replaced bool) {
 	bucket = append(bucket, nil)
 	copy(bucket[pos+1:], bucket[pos:])
 	bucket[pos] = e
-	tp.entries[e.Match.Key] = bucket
+	tp.table.Put(e.Match.Key, bucket)
 	tp.count++
 	c.count++
 	if e.Priority > tp.maxPrio || tp.count == 1 {
@@ -101,14 +109,14 @@ func (c *Classifier[T]) Delete(m flow.Match, priority int) bool {
 	if tp == nil {
 		return false
 	}
-	bucket := tp.entries[m.Key]
+	bucket, _ := tp.table.Lookup(m.Key)
 	for i, e := range bucket {
 		if e.Priority == priority {
 			bucket = append(bucket[:i], bucket[i+1:]...)
 			if len(bucket) == 0 {
-				delete(tp.entries, m.Key)
+				tp.table.Delete(m.Key)
 			} else {
-				tp.entries[m.Key] = bucket
+				tp.table.Put(m.Key, bucket)
 			}
 			tp.count--
 			c.count--
@@ -169,7 +177,7 @@ func (c *Classifier[T]) Lookup(k flow.Key) (*Entry[T], int) {
 			break // staged lookup: no remaining tuple can win
 		}
 		probes++
-		if bucket, ok := tp.entries[k.Apply(tp.mask)]; ok && len(bucket) > 0 {
+		if bucket, ok := tp.table.Lookup(k); ok && len(bucket) > 0 {
 			if e := bucket[0]; best == nil || e.Priority > best.Priority {
 				best = e
 			}
@@ -185,6 +193,8 @@ func (c *Classifier[T]) Lookup(k flow.Key) (*Entry[T], int) {
 // (OVS's rule: each tuple the search visits contributes its whole mask to
 // the unwildcarded set, which also subsumes the per-rule dependency bits of
 // §4.2.3 since every higher-priority rule lives in a visited tuple).
+//
+//gf:hotpath
 func (c *Classifier[T]) LookupWild(k flow.Key) (*Entry[T], flow.Mask, int) {
 	if c.dirty {
 		c.rebuildOrder()
@@ -199,7 +209,7 @@ func (c *Classifier[T]) LookupWild(k flow.Key) (*Entry[T], flow.Mask, int) {
 		}
 		probes++
 		wild = wild.Union(tp.mask)
-		if bucket, ok := tp.entries[k.Apply(tp.mask)]; ok && len(bucket) > 0 {
+		if bucket, ok := tp.table.Lookup(k); ok && len(bucket) > 0 {
 			if e := bucket[0]; best == nil || e.Priority > best.Priority {
 				best = e
 			}
@@ -223,6 +233,12 @@ func (c *Classifier[T]) LookupWild(k flow.Key) (*Entry[T], flow.Mask, int) {
 // outranking tuples) per lookup instead of O(tuples) — OVS chose the
 // cheap variant; this one exists to model classifiers that spend the
 // effort (and for the mask-diversity ablation).
+//
+// Pass-1 tuple visits are recorded in a classifier-owned scratch buffer,
+// and pass 2 walks each visited tuple's table with a value iterator, so
+// the whole lookup is allocation-free.
+//
+//gf:hotpath
 func (c *Classifier[T]) LookupWildPrecise(k flow.Key) (*Entry[T], flow.Mask, int) {
 	if c.dirty {
 		c.rebuildOrder()
@@ -231,14 +247,14 @@ func (c *Classifier[T]) LookupWildPrecise(k flow.Key) (*Entry[T], flow.Mask, int
 	// Pass 1: find the winning entry and the tuples that were probed.
 	var best *Entry[T]
 	probes := 0
-	var probed []*tuple[T]
+	c.probed = c.probed[:0]
 	for _, tp := range c.order {
 		if best != nil && best.Priority >= tp.maxPrio {
 			break
 		}
 		probes++
-		probed = append(probed, tp)
-		if bucket, ok := tp.entries[k.Apply(tp.mask)]; ok && len(bucket) > 0 {
+		c.probed = append(c.probed, tp)
+		if bucket, ok := tp.table.Lookup(k); ok && len(bucket) > 0 {
 			if e := bucket[0]; best == nil || e.Priority > best.Priority {
 				best = e
 			}
@@ -259,11 +275,12 @@ func (c *Classifier[T]) LookupWildPrecise(k flow.Key) (*Entry[T], flow.Mask, int
 	// the winner's exact predicate differ only in priority and cannot be
 	// distinguished — nor need they be, since bucket order resolves them
 	// identically for every covered key.)
-	for _, tp := range probed {
+	for _, tp := range c.probed {
 		if tp.maxPrio < bestPrio {
 			continue
 		}
-		for _, bucket := range tp.entries {
+		for it := tp.table.Iter(); it.Next(); {
+			bucket := it.Value()
 			for _, e := range bucket {
 				if e.Priority < bestPrio {
 					break // buckets are sorted by priority descending
@@ -288,6 +305,8 @@ type bitRef struct {
 
 // distinguishingBit returns a significant bit of m on which k disagrees
 // with m's key. It exists whenever k does not match m.
+//
+//gf:hotpath
 func distinguishingBit(k flow.Key, m flow.Match) (bitRef, bool) {
 	for f := flow.FieldID(0); f < flow.NumFields; f++ {
 		if diff := (k[f] ^ m.Key[f]) & m.Mask[f]; diff != 0 {
@@ -304,7 +323,8 @@ func (c *Classifier[T]) Get(m flow.Match, priority int) (*Entry[T], bool) {
 	if tp == nil {
 		return nil, false
 	}
-	for _, e := range tp.entries[m.Key] {
+	bucket, _ := tp.table.Lookup(m.Key)
+	for _, e := range bucket {
 		if e.Priority == priority {
 			return e, true
 		}
@@ -312,12 +332,19 @@ func (c *Classifier[T]) Get(m flow.Match, priority int) (*Entry[T], bool) {
 	return nil, false
 }
 
-// Range calls fn for every entry until fn returns false. Iteration order is
-// unspecified. The classifier must not be mutated during Range.
+// Range calls fn for every entry until fn returns false. Iteration order
+// is deterministic: tuples are visited in the staged-lookup order
+// (maxPrio descending, mask ascending) and each tuple's table in its
+// slot order, both pure functions of the insert/delete history. Sweeps
+// built on Range (expiry, revalidation) therefore replay identically
+// under the same seed. The classifier must not be mutated during Range.
 func (c *Classifier[T]) Range(fn func(*Entry[T]) bool) {
-	for _, tp := range c.tuples {
-		for _, bucket := range tp.entries {
-			for _, e := range bucket {
+	if c.dirty {
+		c.rebuildOrder()
+	}
+	for _, tp := range c.order {
+		for it := tp.table.Iter(); it.Next(); {
+			for _, e := range it.Value() {
 				if !fn(e) {
 					return
 				}
@@ -326,7 +353,7 @@ func (c *Classifier[T]) Range(fn func(*Entry[T]) bool) {
 	}
 }
 
-// Entries returns all entries in an unspecified order.
+// Entries returns all entries in deterministic Range order.
 func (c *Classifier[T]) Entries() []*Entry[T] {
 	out := make([]*Entry[T], 0, c.count)
 	c.Range(func(e *Entry[T]) bool { out = append(out, e); return true })
