@@ -40,18 +40,27 @@ bench:
 ## gated by GF_BENCH_GATE=1:
 ##   - SubmitBatch at the default batch size must stay at least 2x faster
 ##     per packet than per-packet Submit on the warmed service pipeline.
+##   - latency attribution (histograms + flight recorder, the default
+##     config) must cost at most 5% over a NoLatency service on the same
+##     batched datapath, at 0 allocs/op.
 ##   - the fused-probe classifier must beat the map-backed baseline by at
 ##     least 1.4x on the cold high-mask-diversity slow-path sweep, at zero
 ##     allocations.
 bench-gate:
 	GF_BENCH_GATE=1 $(GO) test -run TestBatchThroughputGate -count=1 -v ./service
+	GF_BENCH_GATE=1 $(GO) test -run TestLatencyOverheadGate -count=1 -v ./service
 	GF_BENCH_GATE=1 $(GO) test -run TestSlowpathProbeGate -count=1 -v ./internal/tss
 
-## bench-json: regenerate BENCH_slowpath.json — wall-clock slow-path (cold
-## caches, low locality, high mask diversity) and hit-path (warm) per-packet
-## cost on both backends, with allocs/op and hit rates.
+## bench-json: regenerate the checked-in benchmark reports:
+##   - BENCH_slowpath.json — wall-clock slow-path (cold caches, low
+##     locality, high mask diversity) and hit-path (warm) per-packet cost
+##     on both backends, with allocs/op and hit rates.
+##   - BENCH_latency.json — per-tier latency percentile ladders
+##     (p50/p90/p99/p999) from the attribution layer under a warm steady
+##     state and a cold-start storm, with flight-recorder counters.
 bench-json:
 	$(GO) run ./cmd/gigabench -exp slowpath -flows 20000 -json BENCH_slowpath.json
+	$(GO) run ./cmd/gigabench -exp latency -flows 20000 -json BENCH_latency.json
 
 ## deprecated-check: no new callers of the deprecated TrySubmit /
 ## TrySubmitFrame aliases outside the service package (where they are

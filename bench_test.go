@@ -16,6 +16,7 @@ import (
 
 	"gigaflow/internal/experiments"
 	"gigaflow/internal/pipelines"
+	"gigaflow/internal/telemetry"
 	"gigaflow/internal/traffic"
 )
 
@@ -356,6 +357,39 @@ func BenchmarkVSwitchMicroflowHit(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// benchProcessBatchRec is the batched warm hot path with an optional
+// latency recorder attached: the parametrized body behind the latency
+// overhead gate. ns/op is per 32-packet batch.
+func benchProcessBatchRec(b *testing.B, rec *telemetry.LatencyRecorder) {
+	opts := []VSwitchOption{WithMicroflow(256)}
+	if rec != nil {
+		opts = append(opts, WithLatencyRecorder(rec))
+	}
+	vs := NewVSwitch(buildDemoPipeline(), CacheConfig{NumTables: 3, TableCapacity: 64}, opts...)
+	const batch = 32
+	keys := make([]Key, batch)
+	for i := range keys {
+		keys[i] = demoKey(uint64(i%8), 80)
+	}
+	out := make([]ProcessResult, batch)
+	errs := make([]error, batch)
+	vs.ProcessBatch(keys, out, errs, 0) // warm the cache
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		vs.ProcessBatch(keys, out, errs, int64(i))
+	}
+}
+
+// BenchmarkVSwitchProcessBatchRecorded is BenchmarkVSwitchProcessBatch
+// with latency attribution on: the cost visible over the plain variant is
+// the whole per-packet price of the flight recorder and tier histograms.
+// (The enforced overhead gate lives in the service package, against the
+// deployed datapath; this benchmark is the raw per-batch view.)
+func BenchmarkVSwitchProcessBatchRecorded(b *testing.B) {
+	benchProcessBatchRec(b, telemetry.NewLatencyRecorder(0, 0))
 }
 
 // BenchmarkVSwitchCacheHitTraced attaches a tracer with sampling disabled:

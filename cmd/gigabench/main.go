@@ -26,11 +26,13 @@ import (
 var experimentOrder = []string{
 	"tab1", "fig3", "fig4", "fig8", "fig9", "fig10", "fig11", "fig12",
 	"fig13", "fig14", "fig15", "tab2", "fig16", "fig17", "fig18",
-	"sec636", "fig19", "svcbatch", "slowpath",
+	"sec636", "fig19", "svcbatch", "slowpath", "latency",
 }
 
-// jsonOut is the -json flag: when the slowpath experiment runs, it writes
-// its machine-readable report (BENCH_slowpath.json) to this path.
+// jsonOut is the -json flag: when the slowpath or latency experiment
+// runs, it writes its machine-readable report (BENCH_slowpath.json /
+// BENCH_latency.json) to this path. Run those experiments individually
+// when using -json — under -exp all they would overwrite each other.
 var jsonOut string
 
 func main() {
@@ -46,7 +48,7 @@ func main() {
 		pipeNames = flag.String("pipelines", "", "comma-separated pipeline subset (e.g. PSC,OLS)")
 		telem     = flag.Bool("telemetry", false, "dump a per-experiment metrics registry (Prometheus text) at exit")
 	)
-	flag.StringVar(&jsonOut, "json", "", "write the slowpath experiment's report to this JSON file")
+	flag.StringVar(&jsonOut, "json", "", "write the slowpath/latency experiment's report to this JSON file")
 	flag.Parse()
 
 	if *list {
@@ -215,6 +217,12 @@ func run(id string, p experiments.Params) error {
 		emit(t)
 	case "slowpath":
 		t, err := runSlowpath(p, jsonOut)
+		if err != nil {
+			return err
+		}
+		emit(t)
+	case "latency":
+		t, err := runLatency(p, jsonOut)
 		if err != nil {
 			return err
 		}

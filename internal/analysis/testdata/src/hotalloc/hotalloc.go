@@ -209,6 +209,64 @@ func hotFusedProbe(t *probeTable, k *[4]uint64) (int, bool) {
 	}
 }
 
+// flightRec / flightRing mirror internal/telemetry's flight recorder: a
+// power-of-two ring of fixed-size value records overwritten in place
+// through a masked sequence counter, plus a per-tier pending array
+// folded once per run.
+type flightRec struct {
+	ts      int64
+	keyHash uint64
+	latNs   int32
+	batch   uint32
+	tier    uint8
+	flags   uint8
+}
+
+type flightRing struct {
+	ring    []flightRec
+	mask    uint64
+	seq     uint64
+	batch   uint32
+	pending [4]uint32
+}
+
+// hotRingRecord is the flight-recorder hit idiom: index the preallocated
+// ring through seq&mask, store the per-packet facts field by field into
+// the resident record (no composite literal, which would build the
+// record on the stack just to copy it), and bump the counters. Nothing
+// escapes, nothing allocates; the analyzer must stay silent.
+//
+//gf:hotpath
+func hotRingRecord(r *flightRing, tier uint8, keyHash uint64) {
+	s := &r.ring[r.seq&r.mask]
+	s.keyHash = keyHash
+	s.batch = r.batch
+	s.tier = tier
+	s.flags = 1
+	r.seq++
+	r.pending[tier]++
+}
+
+// hotRingFold closes a run: sums the pending array, shares the span
+// across the records, and clears the counters in place — the once-per-
+// batch companion to hotRingRecord. Silent.
+//
+//gf:hotpath
+func hotRingFold(r *flightRing, span int64) int64 {
+	n := uint32(0)
+	for t := range r.pending {
+		n += r.pending[t]
+	}
+	if n == 0 {
+		return 0
+	}
+	per := span / int64(n)
+	for t := range r.pending {
+		r.pending[t] = 0
+	}
+	return per
+}
+
 // coldAlloc allocates freely but carries no annotation: silent.
 func coldAlloc() []int {
 	s := fmt.Sprint("cold")

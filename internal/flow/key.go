@@ -29,6 +29,27 @@ func (k *Key) Set(f FieldID, v uint64) {
 	k[f] = v & f.MaxValue()
 }
 
+// FlowHash mixes the 5-tuple (addresses, protocol, ports) into a 64-bit
+// fingerprint: multiply-xor over the five fields with a murmur-style
+// finisher so both the high bits (flight-record fingerprints) and the
+// low bits (worker-shard modulo) are well distributed. A handful of
+// arithmetic ops — cheap enough to call per packet on the fast path.
+//
+//gf:hotpath
+func (k *Key) FlowHash() uint64 {
+	const prime = 0x100000001b3
+	h := uint64(0x9e3779b97f4a7c15)
+	h = (h ^ k[FieldIPSrc]) * prime
+	h = (h ^ k[FieldIPDst]) * prime
+	h = (h ^ k[FieldIPProto]) * prime
+	h = (h ^ k[FieldTpSrc]) * prime
+	h = (h ^ k[FieldTpDst]) * prime
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 29
+	return h
+}
+
 // WithMasked returns a copy of k where the bits of f selected by mask are
 // replaced by the corresponding bits of v.
 func (k Key) WithMasked(f FieldID, v, mask uint64) Key {

@@ -75,6 +75,10 @@ type Table[V any] struct {
 	// masked words of the key being looked up; candidate comparison reads
 	// it back instead of re-masking.
 	probe [flow.NumFields]uint64
+	// lastHash is the fused hash of the most recent probe, exposed via
+	// LastHash so latency attribution can identify the flow without
+	// hashing the key a second time.
+	lastHash uint64
 
 	slots  []slot[V]
 	count  int
@@ -138,8 +142,16 @@ func (t *Table[V]) probeHash(k *flow.Key) uint64 {
 	if h == 0 {
 		h = hashInit // 0 is the empty-slot sentinel
 	}
+	t.lastHash = h
 	return h
 }
+
+// LastHash returns the fused probe hash computed by the most recent
+// Lookup/Put/Delete on this table. Latency attribution reuses it as the
+// flow identifier for hit records instead of hashing the key a second
+// time; like the probe scratch it is only meaningful immediately after
+// the operation, on the goroutine driving the table.
+func (t *Table[V]) LastHash() uint64 { return t.lastHash }
 
 // probeEqual reports whether a stored (normalized) key equals the masked
 // words captured by the last probeHash call.

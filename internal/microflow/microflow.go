@@ -69,6 +69,11 @@ func (c *Cache) Capacity() int { return c.capacity }
 // Stats returns a snapshot of the counters.
 func (c *Cache) Stats() Stats { return c.stats }
 
+// LastHash returns the fused probe hash of the most recent Lookup: the
+// flow identifier latency attribution logs for a microflow hit. Only
+// meaningful immediately after the lookup, on the driving goroutine.
+func (c *Cache) LastHash() uint64 { return c.entries.LastHash() }
+
 // Snapshot captures the cache's current telemetry view.
 func (c *Cache) Snapshot() Snapshot {
 	return Snapshot{Stats: c.stats, Len: c.Len(), Capacity: c.capacity}

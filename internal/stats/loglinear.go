@@ -1,0 +1,68 @@
+package stats
+
+import (
+	"math"
+	"math/bits"
+)
+
+// Log-linear ("HDR-style") bucket layout for nanosecond latencies. The
+// coarse log2 layout of Histogram is fine for experiment reports, but a
+// p999 estimate from a bucket spanning a full doubling can be off by
+// almost 2x; here every octave is split into LatSubBuckets linear
+// sub-buckets, bounding the relative quantile error at 1/LatSubBuckets
+// (6.25%). The bottom of the range, where a whole octave is narrower
+// than a sub-bucket would be, uses exact one-nanosecond buckets.
+const (
+	// LatSubBits is the number of linear sub-bucket bits per octave.
+	LatSubBits = 4
+	// LatSubBuckets is the number of linear sub-buckets per octave.
+	LatSubBuckets = 1 << LatSubBits
+	// latFirstOctave is the first log2 octave split into sub-buckets;
+	// smaller values get exact buckets.
+	latFirstOctave = LatSubBits + 1
+	// latLastOctave is the first octave absorbed by the overflow bucket:
+	// everything at or above 2^latLastOctave ns (~4.3 s) lands there.
+	latLastOctave = 32
+	// latExact is the count of exact one-nanosecond buckets at the bottom.
+	latExact = 1 << (LatSubBits + 1)
+	// LatNumBuckets is the total log-linear bucket count, including the
+	// overflow bucket.
+	LatNumBuckets = latExact + (latLastOctave-latFirstOctave)*LatSubBuckets + 1
+)
+
+// LatBucketIndex maps a latency in nanoseconds to its log-linear bucket.
+// Negative values clamp to bucket 0; values at or above 2^32 ns land in
+// the overflow bucket.
+//
+//gf:hotpath
+func LatBucketIndex(ns int64) int {
+	if ns < latExact {
+		if ns < 0 {
+			return 0
+		}
+		return int(ns)
+	}
+	o := bits.Len64(uint64(ns)) - 1
+	if o >= latLastOctave {
+		return LatNumBuckets - 1
+	}
+	sub := int(ns>>(uint(o)-LatSubBits)) & (LatSubBuckets - 1)
+	return latExact + (o-latFirstOctave)*LatSubBuckets + sub
+}
+
+// LatBucketBounds reports the [lo, hi) nanosecond range of log-linear
+// bucket i, as floats so it can feed QuantileOf. The overflow bucket is
+// unbounded above (hi = +Inf).
+func LatBucketBounds(i int) (lo, hi float64) {
+	switch {
+	case i < latExact:
+		return float64(i), float64(i + 1)
+	case i >= LatNumBuckets-1:
+		return math.Exp2(latLastOctave), math.Inf(1)
+	}
+	i -= latExact
+	o := latFirstOctave + i/LatSubBuckets
+	width := int64(1) << (uint(o) - LatSubBits)
+	lo64 := int64(LatSubBuckets+i%LatSubBuckets) * width
+	return float64(lo64), float64(lo64 + width)
+}

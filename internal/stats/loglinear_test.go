@@ -1,0 +1,82 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+// TestLatBucketContainment: every value lands in a bucket whose bounds
+// contain it, and indices are monotone in the value.
+func TestLatBucketContainment(t *testing.T) {
+	vals := []int64{0, 1, 5, 31, 32, 33, 47, 63, 64, 100, 1000, 4095, 123456,
+		1 << 20, (1 << 31) - 1, 1 << 31, (1 << 32) - 1}
+	prev := -1
+	for _, v := range vals {
+		i := LatBucketIndex(v)
+		if i < 0 || i >= LatNumBuckets {
+			t.Fatalf("LatBucketIndex(%d) = %d out of range [0,%d)", v, i, LatNumBuckets)
+		}
+		if i < prev {
+			t.Errorf("LatBucketIndex not monotone: index %d for %d after %d", i, v, prev)
+		}
+		prev = i
+		lo, hi := LatBucketBounds(i)
+		if float64(v) < lo || float64(v) >= hi {
+			t.Errorf("value %d not in bucket %d bounds [%g,%g)", v, i, lo, hi)
+		}
+	}
+}
+
+func TestLatBucketEdges(t *testing.T) {
+	if i := LatBucketIndex(-7); i != 0 {
+		t.Errorf("negative value bucket = %d, want 0", i)
+	}
+	if i := LatBucketIndex(1 << 32); i != LatNumBuckets-1 {
+		t.Errorf("overflow bucket = %d, want %d", i, LatNumBuckets-1)
+	}
+	if i := LatBucketIndex(math.MaxInt64); i != LatNumBuckets-1 {
+		t.Errorf("MaxInt64 bucket = %d, want %d", i, LatNumBuckets-1)
+	}
+	_, hi := LatBucketBounds(LatNumBuckets - 1)
+	if !math.IsInf(hi, 1) {
+		t.Errorf("overflow bucket hi = %g, want +Inf", hi)
+	}
+	// Exact buckets below 2^(LatSubBits+1): one value each.
+	for v := int64(0); v < 32; v++ {
+		lo, hi := LatBucketBounds(LatBucketIndex(v))
+		if lo != float64(v) || hi != float64(v+1) {
+			t.Errorf("exact bucket for %d = [%g,%g), want [%d,%d)", v, lo, hi, v, v+1)
+		}
+	}
+}
+
+// TestLatBucketRelativeError: sub-bucketing bounds the quantile error at
+// one sub-bucket width (1/LatSubBuckets of the value).
+func TestLatBucketRelativeError(t *testing.T) {
+	for _, v := range []int64{100, 999, 54321, 1 << 22} {
+		lo, hi := LatBucketBounds(LatBucketIndex(v))
+		if width := hi - lo; width > float64(v)/float64(LatSubBuckets)+1 {
+			t.Errorf("bucket width %g for value %d exceeds %d-th of value", width, v, LatSubBuckets)
+		}
+	}
+}
+
+// TestQuantileOfLatLayout: a uniform 1..1000ns stream estimates its
+// quantiles within the layout's relative error.
+func TestQuantileOfLatLayout(t *testing.T) {
+	var counts [LatNumBuckets]uint64
+	for v := int64(1); v <= 1000; v++ {
+		counts[LatBucketIndex(v)]++
+	}
+	for _, tc := range []struct{ q, want float64 }{
+		{0.50, 500}, {0.90, 900}, {0.99, 990}, {0.999, 999},
+	} {
+		got := QuantileOf(counts[:], 1000, tc.q, LatBucketBounds)
+		if math.Abs(got-tc.want)/tc.want > 1.0/LatSubBuckets {
+			t.Errorf("Quantile(%g) = %g, want %g ±%.2f%%", tc.q, got, tc.want, 100.0/LatSubBuckets)
+		}
+	}
+	if got := QuantileOf(counts[:], 0, 0.5, LatBucketBounds); got != 0 {
+		t.Errorf("empty quantile = %g, want 0", got)
+	}
+}

@@ -131,25 +131,40 @@ func (h *Histogram) Sum() float64 { return h.sum.Mean() * float64(h.sum.N()) }
 func (h *Histogram) Buckets() [NumBuckets]uint64 { return h.buckets }
 
 // Quantile estimates the q-quantile (0 ≤ q ≤ 1) from the buckets, using
-// the geometric midpoint of the matching bucket.
+// the arithmetic midpoint of the matching bucket.
 func (h *Histogram) Quantile(q float64) float64 {
-	if h.sum.N() == 0 {
+	return QuantileOf(h.buckets[:], h.sum.N(), q, BucketBounds)
+}
+
+// QuantileOf estimates the q-quantile (0 ≤ q ≤ 1) of a bucketed
+// distribution with counts[i] observations in the value range bounds(i).
+// It returns the arithmetic midpoint of the bucket containing the target
+// rank, treating an unbounded top bucket (hi = +Inf) as one doubling
+// beyond its lower bound. This is the single quantile implementation
+// behind Histogram, the telemetry registry's concurrent histograms, and
+// the log-linear latency histograms — they differ only in bucket layout.
+func QuantileOf(counts []uint64, total uint64, q float64, bounds func(int) (lo, hi float64)) float64 {
+	if total == 0 {
 		return 0
 	}
-	target := q * float64(h.sum.N())
+	target := q * float64(total)
 	var seen float64
-	for i, c := range h.buckets {
+	mid := 0.0
+	for i, c := range counts {
+		if c == 0 {
+			continue
+		}
+		lo, hi := bounds(i)
+		if math.IsInf(hi, 1) {
+			hi = 2 * lo
+		}
+		mid = (lo + hi) / 2
 		seen += float64(c)
-		if seen >= target && c > 0 {
-			lo := math.Exp2(float64(i))
-			if i == 0 {
-				lo = 0
-			}
-			hi := math.Exp2(float64(i + 1))
-			return (lo + hi) / 2
+		if seen >= target {
+			return mid
 		}
 	}
-	return h.sum.Max()
+	return mid
 }
 
 // Point is one (time, value) sample of a time series; T is virtual

@@ -311,30 +311,10 @@ func (s HistogramSnapshot) Mean() float64 {
 	return s.Sum / float64(s.Count)
 }
 
-// Quantile estimates the q-quantile from the buckets using the bucket
-// midpoint, mirroring stats.Histogram.Quantile.
+// Quantile estimates the q-quantile from the buckets using the shared
+// bucket-midpoint math in stats.QuantileOf.
 func (s HistogramSnapshot) Quantile(q float64) float64 {
-	if s.Count == 0 {
-		return 0
-	}
-	target := q * float64(s.Count)
-	var seen float64
-	last := 0.0
-	for i, c := range s.Buckets {
-		if c == 0 {
-			continue
-		}
-		lo, hi := stats.BucketBounds(i)
-		if math.IsInf(hi, 1) {
-			hi = 2 * lo // open top bucket: fall back to a doubling midpoint
-		}
-		last = (lo + hi) / 2
-		seen += float64(c)
-		if seen >= target {
-			return last
-		}
-	}
-	return last
+	return stats.QuantileOf(s.Buckets[:], s.Count, q, stats.BucketBounds)
 }
 
 // --- Exposition -------------------------------------------------------

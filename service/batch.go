@@ -114,8 +114,21 @@ type submitOpts struct {
 	resp        chan<- Result
 }
 
-// SubmitOption configures a single submission call.
-type SubmitOption func(*submitOpts)
+// SubmitOption configures a single submission call. Options transform
+// the config by value rather than through a pointer: taking the
+// address of the per-call submitOpts would force it to escape to the
+// heap, putting one allocation on every Submit/SubmitBatch — the only
+// one the steady-state datapath would have.
+type SubmitOption func(submitOpts) submitOpts
+
+// applyOpts folds the call's options over a zero config.
+func applyOpts(opts []SubmitOption) submitOpts {
+	var o submitOpts
+	for _, opt := range opts {
+		o = opt(o)
+	}
+	return o
+}
 
 // Nonblocking makes the submission enqueue-only: it never waits for a
 // verdict, and a packet whose target worker queue is full is dropped with
@@ -123,7 +136,7 @@ type SubmitOption func(*submitOpts)
 // blocking submission it does not require a started service — packets
 // simply queue until workers exist to drain them.
 func Nonblocking() SubmitOption {
-	return func(o *submitOpts) { o.nonblocking = true }
+	return func(o submitOpts) submitOpts { o.nonblocking = true; return o }
 }
 
 // WithResponse directs every processed Result of a nonblocking submission
@@ -132,7 +145,7 @@ func Nonblocking() SubmitOption {
 // It has no effect on blocking submissions, whose results land in the
 // Batch (or the returned Result) already.
 func WithResponse(resp chan<- Result) SubmitOption {
-	return func(o *submitOpts) { o.resp = resp }
+	return func(o submitOpts) submitOpts { o.resp = resp; return o }
 }
 
 // batchPool recycles single-request batches so the Submit wrapper stays
@@ -146,10 +159,7 @@ var batchPool = sync.Pool{New: func() any { return NewBatch(1) }}
 // worker. Errors: ErrNotStarted, ErrClosed, ErrQueueFull (nonblocking),
 // ctx.Err(), or the packet's own pipeline error.
 func (s *Service) Submit(ctx context.Context, k gigaflow.Key, opts ...SubmitOption) (Result, error) {
-	var o submitOpts
-	for _, opt := range opts {
-		opt(&o)
-	}
+	o := applyOpts(opts)
 	if o.nonblocking {
 		return Result{}, s.enqueueOne(k, o.resp)
 	}
@@ -183,11 +193,7 @@ func (s *Service) Submit(ctx context.Context, k gigaflow.Key, opts ...SubmitOpti
 // rest have Result.Err nil with verdicts unreported (use WithResponse to
 // stream them). The batch may be reused immediately.
 func (s *Service) SubmitBatch(ctx context.Context, b *Batch, opts ...SubmitOption) error {
-	var o submitOpts
-	for _, opt := range opts {
-		opt(&o)
-	}
-	return s.submit(ctx, b, o)
+	return s.submit(ctx, b, applyOpts(opts))
 }
 
 // submit is the single internal submission path. Requests pre-marked with

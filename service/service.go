@@ -82,6 +82,19 @@ type Config struct {
 	TraceSample int
 	// TraceBuffer bounds the ring of retained traces (default 256).
 	TraceBuffer int
+
+	// NoLatency disables the per-worker latency attribution layer (per-tier
+	// nanosecond histograms and the flight-recorder ring, served on
+	// /latency and /debug/flight). Attribution is on by default: its hot
+	// path adds two clock reads per batch and plain stores per packet.
+	NoLatency bool
+	// FlightRecords sizes each worker's flight-recorder ring, rounded up
+	// to a power of two (default 4096).
+	FlightRecords int
+	// LatencySpike, when set, snapshots a worker's flight ring whenever a
+	// packet's latency meets or exceeds it, so a tail spike comes with the
+	// events that surrounded it (0 disables spike captures).
+	LatencySpike time.Duration
 }
 
 // validate rejects nonsensical configurations instead of silently
@@ -107,6 +120,15 @@ func (c Config) validate() error {
 	}
 	if c.TraceSample < 0 {
 		return fmt.Errorf("service: negative TraceSample (%d)", c.TraceSample)
+	}
+	if c.FlightRecords < 0 {
+		return fmt.Errorf("service: negative FlightRecords (%d)", c.FlightRecords)
+	}
+	if c.LatencySpike < 0 {
+		return fmt.Errorf("service: negative LatencySpike (%v)", c.LatencySpike)
+	}
+	if c.NoLatency && (c.FlightRecords != 0 || c.LatencySpike != 0) {
+		return errors.New("service: FlightRecords/LatencySpike set but NoLatency disables attribution")
 	}
 	switch c.Backend {
 	case BackendGigaflow:
@@ -181,6 +203,7 @@ type packet struct {
 // worker owns one pipeline replica and one cache shard.
 type worker struct {
 	vs    *gigaflow.VSwitch
+	rec   *telemetry.LatencyRecorder // nil when Config.NoLatency
 	in    chan packet
 	label string // worker index, precomputed for metric labels
 
@@ -265,8 +288,16 @@ func New(p *gigaflow.Pipeline, cfg Config) (*Service, error) {
 		if cfg.MicroflowCapacity > 0 {
 			opts = append(opts, gigaflow.WithMicroflow(shareOf(cfg.MicroflowCapacity, cfg.Workers, i)))
 		}
+		var rec *telemetry.LatencyRecorder
+		if !cfg.NoLatency {
+			// One recorder per worker: like the VSwitch it instruments, its
+			// state is single-writer and lives on the worker goroutine.
+			rec = telemetry.NewLatencyRecorder(cfg.FlightRecords, cfg.LatencySpike)
+			opts = append(opts, gigaflow.WithLatencyRecorder(rec))
+		}
 		s.workers = append(s.workers, &worker{
 			vs:    gigaflow.NewVSwitch(replica, perWorker, opts...),
+			rec:   rec,
 			in:    make(chan packet, cfg.QueueDepth),
 			label: fmt.Sprintf("%d", i),
 		})
@@ -326,13 +357,17 @@ func (s *Service) runWorker(ctx context.Context, w *worker) {
 	}
 }
 
-// run executes one queued message on the worker goroutine.
+// run executes one queued message on the worker goroutine. The wall
+// clock is read once per message and threaded through both the
+// single-packet and batch paths, so the two age caches identically and
+// the latency recorder anchors its flight timestamps on the same stamp
+// that touched the cache entries.
 func (w *worker) run(pkt packet) {
 	switch {
 	case pkt.control != nil:
 		pkt.control()
 	case pkt.job != nil:
-		w.runJob(pkt.job)
+		w.runJob(pkt.job, time.Now().UnixNano())
 	default:
 		res, err := w.vs.Process(pkt.key, time.Now().UnixNano())
 		if pkt.resp != nil {
@@ -344,8 +379,9 @@ func (w *worker) run(pkt packet) {
 // runJob processes one batch job: a single ProcessBatch call covers every
 // key — one VSwitch stats flush and one counter flush per cache tier for
 // the whole job — then results fan back to the submitter, who paid one
-// channel message for all of them.
-func (w *worker) runJob(j *batchJob) {
+// channel message for all of them. now is the message's single wall-clock
+// stamp, shared by every packet in the job.
+func (w *worker) runJob(j *batchJob, now int64) {
 	n := len(j.keys)
 	if cap(w.procOut) < n {
 		w.procOut = make([]gigaflow.ProcessResult, n)
@@ -353,7 +389,7 @@ func (w *worker) runJob(j *batchJob) {
 	}
 	out := w.procOut[:n]
 	errs := w.procErr[:n]
-	w.vs.ProcessBatch(j.keys, out, errs, time.Now().UnixNano())
+	w.vs.ProcessBatch(j.keys, out, errs, now)
 	for i := 0; i < n; i++ {
 		j.res[i] = Result{Verdict: out[i].Verdict, Final: out[i].Final, CacheHit: out[i].CacheHit, Err: errs[i]}
 		if j.resp != nil {
@@ -573,19 +609,10 @@ func shareOf(total, n, i int) int {
 	return share
 }
 
-// keyShard hashes the 5-tuple for RSS sharding.
+// keyShard hashes the 5-tuple for RSS sharding — the same FlowHash the
+// flight recorder fingerprints cold events with. (The previous
+// byte-at-a-time FNV built a field-list slice per call; FlowHash is a
+// handful of multiply-xor ops and allocation-free.)
 func keyShard(k gigaflow.Key) uint64 {
-	h := uint64(14695981039346656037)
-	for _, f := range []gigaflow.FieldID{
-		gigaflow.FieldIPSrc, gigaflow.FieldIPDst, gigaflow.FieldIPProto,
-		gigaflow.FieldTpSrc, gigaflow.FieldTpDst,
-	} {
-		v := k.Get(f)
-		for i := 0; i < 8; i++ {
-			h ^= v & 0xff
-			h *= 1099511628211
-			v >>= 8
-		}
-	}
-	return h
+	return k.FlowHash()
 }

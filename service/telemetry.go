@@ -131,13 +131,134 @@ func (s *Service) cacheTelemetry(ctx context.Context) ([]workerTelemetry, error)
 	return out, nil
 }
 
+// workerLatency is one worker's slice of the /latency document: the
+// percentile ladder for every resolution tier.
+type workerLatency struct {
+	Worker string                               `json:"worker"`
+	Tiers  map[string]telemetry.LatencySnapshot `json:"tiers"`
+}
+
+// latencyDoc is the /latency response: per-worker and aggregate per-tier
+// latency ladders. Enabled is false (and the rest empty) when the
+// service was built with Config.NoLatency.
+type latencyDoc struct {
+	Enabled bool                                 `json:"enabled"`
+	Workers []workerLatency                      `json:"workers,omitempty"`
+	Total   map[string]telemetry.LatencySnapshot `json:"total,omitempty"`
+}
+
+// latencyTelemetry snapshots every worker's latency histograms on the
+// workers' own goroutines and merges them into an aggregate ladder.
+func (s *Service) latencyTelemetry(ctx context.Context) (latencyDoc, error) {
+	doc := latencyDoc{}
+	if s.cfg.NoLatency {
+		return doc, nil
+	}
+	doc.Enabled = true
+	hists := make([][telemetry.NumTiers]telemetry.LatencyHistogram, len(s.workers))
+	done := make(chan struct{}, len(s.workers))
+	submitted := 0
+	for i, w := range s.workers {
+		i, w := i, w
+		op := packet{control: func() {
+			for t := telemetry.Tier(0); t < telemetry.NumTiers; t++ {
+				hists[i][t] = *w.rec.Histogram(t)
+			}
+			done <- struct{}{}
+		}}
+		select {
+		case <-ctx.Done():
+			return doc, ctx.Err()
+		case w.in <- op:
+			submitted++
+		}
+	}
+	for i := 0; i < submitted; i++ {
+		select {
+		case <-ctx.Done():
+			return doc, ctx.Err()
+		case <-done:
+		}
+	}
+	var total [telemetry.NumTiers]telemetry.LatencyHistogram
+	for i, w := range s.workers {
+		wl := workerLatency{Worker: w.label, Tiers: make(map[string]telemetry.LatencySnapshot, telemetry.NumTiers)}
+		for t := telemetry.Tier(0); t < telemetry.NumTiers; t++ {
+			wl.Tiers[t.String()] = hists[i][t].Snapshot()
+			total[t].Merge(&hists[i][t])
+		}
+		doc.Workers = append(doc.Workers, wl)
+	}
+	doc.Total = make(map[string]telemetry.LatencySnapshot, telemetry.NumTiers)
+	for t := telemetry.Tier(0); t < telemetry.NumTiers; t++ {
+		doc.Total[t.String()] = total[t].Snapshot()
+	}
+	return doc, nil
+}
+
+// workerFlight is one worker's slice of the /debug/flight document.
+type workerFlight struct {
+	Worker   string                    `json:"worker"`
+	Seq      uint64                    `json:"seq"`
+	RingSize int                       `json:"ring_size"`
+	Batches  uint32                    `json:"batches"`
+	SpikeNs  int64                     `json:"spike_ns"`
+	Spikes   uint64                    `json:"spikes"`
+	Records  []telemetry.FlightRecord  `json:"records"` // newest first
+	Captures []telemetry.FlightCapture `json:"captures,omitempty"`
+}
+
+// flightTelemetry dumps up to n recent flight records per worker (n <= 0
+// means the whole ring), plus any retained spike captures, snapshotted on
+// the workers' own goroutines.
+func (s *Service) flightTelemetry(ctx context.Context, n int) ([]workerFlight, error) {
+	if s.cfg.NoLatency {
+		return nil, nil
+	}
+	out := make([]workerFlight, len(s.workers))
+	done := make(chan struct{}, len(s.workers))
+	submitted := 0
+	for i, w := range s.workers {
+		i, w := i, w
+		op := packet{control: func() {
+			out[i] = workerFlight{
+				Worker:   w.label,
+				Seq:      w.rec.Seq(),
+				RingSize: w.rec.RingSize(),
+				Batches:  w.rec.Batches(),
+				SpikeNs:  w.rec.SpikeThreshold(),
+				Spikes:   w.rec.Spikes(),
+				Records:  w.rec.Recent(n),
+				Captures: w.rec.Captures(),
+			}
+			done <- struct{}{}
+		}}
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case w.in <- op:
+			submitted++
+		}
+	}
+	for i := 0; i < submitted; i++ {
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-done:
+		}
+	}
+	return out, nil
+}
+
 // TelemetryHandler returns the introspection mux:
 //
-//	/metrics     Prometheus text (?format=json for JSON)
-//	/traces      recent sampled traversal traces (?n= caps the count)
-//	/cache       per-worker, per-table cache occupancy and counters
-//	/debug/pprof net/http/pprof profiles
-//	/debug/vars  expvar
+//	/metrics      Prometheus text (?format=json for JSON)
+//	/traces       recent sampled traversal traces (?n= caps the count)
+//	/cache        per-worker, per-table cache occupancy and counters
+//	/latency      per-worker and aggregate per-tier latency ladders
+//	/debug/flight per-worker flight-recorder dump (?n= caps records)
+//	/debug/pprof  net/http/pprof profiles
+//	/debug/vars   expvar
 func (s *Service) TelemetryHandler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
@@ -150,6 +271,8 @@ func (s *Service) TelemetryHandler() http.Handler {
 <li><a href="/metrics">/metrics</a> (Prometheus; <a href="/metrics?format=json">json</a>)</li>
 <li><a href="/traces">/traces</a></li>
 <li><a href="/cache">/cache</a></li>
+<li><a href="/latency">/latency</a></li>
+<li><a href="/debug/flight">/debug/flight</a></li>
 <li><a href="/debug/pprof/">/debug/pprof/</a></li>
 <li><a href="/debug/vars">/debug/vars</a></li>
 </ul></body></html>`)
@@ -192,6 +315,39 @@ func (s *Service) TelemetryHandler() http.Handler {
 			Backend string            `json:"backend"`
 			Workers []workerTelemetry `json:"workers"`
 		}{s.cfg.Backend.String(), workers})
+	})
+	mux.HandleFunc("/latency", func(w http.ResponseWriter, r *http.Request) {
+		ctx, cancel := context.WithTimeout(r.Context(), collectTimeout)
+		defer cancel()
+		doc, err := s.latencyTelemetry(ctx)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(doc)
+	})
+	mux.HandleFunc("/debug/flight", func(w http.ResponseWriter, r *http.Request) {
+		n := 256
+		if q := r.URL.Query().Get("n"); q != "" {
+			n, _ = strconv.Atoi(q)
+		}
+		ctx, cancel := context.WithTimeout(r.Context(), collectTimeout)
+		defer cancel()
+		workers, err := s.flightTelemetry(ctx, n)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(struct {
+			Enabled bool           `json:"enabled"`
+			Workers []workerFlight `json:"workers,omitempty"`
+		}{!s.cfg.NoLatency, workers})
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

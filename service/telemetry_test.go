@@ -8,6 +8,7 @@ import (
 	"net"
 	"net/http"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -306,6 +307,203 @@ func TestDebugEndpointsServed(t *testing.T) {
 	if out := httpGet(t, base+"/"); !strings.Contains(out, "/metrics") {
 		t.Error("index page missing /metrics link")
 	}
+}
+
+func TestLatencyEndpoint(t *testing.T) {
+	s, base := startTelemetryService(t, Config{
+		Workers:           2,
+		Cache:             gigaflow.CacheConfig{NumTables: 3, TableCapacity: 3 * 256},
+		MicroflowCapacity: 64,
+	})
+	ctx := context.Background()
+	for i := 0; i < 20; i++ {
+		if _, err := s.Submit(ctx, key(uint64(i%4), 80)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	out := httpGet(t, base+"/latency")
+	var doc struct {
+		Enabled bool `json:"enabled"`
+		Workers []struct {
+			Worker string `json:"worker"`
+			Tiers  map[string]struct {
+				Count uint64  `json:"count"`
+				P50   float64 `json:"p50_ns"`
+				P999  float64 `json:"p999_ns"`
+				MaxNs int64   `json:"max_ns"`
+			} `json:"tiers"`
+		} `json:"workers"`
+		Total map[string]struct {
+			Count uint64  `json:"count"`
+			P50   float64 `json:"p50_ns"`
+		} `json:"total"`
+	}
+	if err := json.Unmarshal([]byte(out), &doc); err != nil {
+		t.Fatalf("latency JSON: %v\n%s", err, out)
+	}
+	if !doc.Enabled {
+		t.Fatal("latency attribution reported disabled on a default config")
+	}
+	if len(doc.Workers) != 2 {
+		t.Fatalf("got %d workers, want 2", len(doc.Workers))
+	}
+	for _, tier := range []string{"microflow", "gigaflow", "megaflow", "slowpath"} {
+		if _, ok := doc.Total[tier]; !ok {
+			t.Errorf("total ladder missing tier %q", tier)
+		}
+	}
+	// Every submitted packet is attributed to exactly one tier.
+	var total uint64
+	for _, snap := range doc.Total {
+		total += snap.Count
+	}
+	if total != 20 {
+		t.Errorf("tier counts sum to %d, want 20", total)
+	}
+	if doc.Total["slowpath"].Count == 0 || doc.Total["slowpath"].P50 <= 0 {
+		t.Errorf("slowpath ladder empty: %+v (first-seen flows must miss)", doc.Total["slowpath"])
+	}
+}
+
+func TestFlightEndpoint(t *testing.T) {
+	s, base := startTelemetryService(t, Config{
+		Workers:       1,
+		Cache:         gigaflow.CacheConfig{NumTables: 3, TableCapacity: 3 * 256},
+		FlightRecords: 64,
+	})
+	ctx := context.Background()
+	for i := 0; i < 10; i++ {
+		if _, err := s.Submit(ctx, key(uint64(i%2), 80)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	out := httpGet(t, base+"/debug/flight?n=6")
+	var doc struct {
+		Enabled bool `json:"enabled"`
+		Workers []struct {
+			Worker   string `json:"worker"`
+			Seq      uint64 `json:"seq"`
+			RingSize int    `json:"ring_size"`
+			Batches  uint32 `json:"batches"`
+			Records  []struct {
+				TS      int64  `json:"ts"`
+				KeyHash uint64 `json:"key_hash"`
+				LatNs   int32  `json:"lat_ns"`
+				Tier    string `json:"tier"`
+				Flags   uint8  `json:"flags"`
+			} `json:"records"`
+		} `json:"workers"`
+	}
+	if err := json.Unmarshal([]byte(out), &doc); err != nil {
+		t.Fatalf("flight JSON: %v\n%s", err, out)
+	}
+	if !doc.Enabled || len(doc.Workers) != 1 {
+		t.Fatalf("enabled=%v workers=%d, want true/1", doc.Enabled, len(doc.Workers))
+	}
+	w := doc.Workers[0]
+	if w.Seq != 10 || w.RingSize != 64 || w.Batches != 10 {
+		t.Errorf("seq=%d ring=%d batches=%d, want 10/64/10", w.Seq, w.RingSize, w.Batches)
+	}
+	if len(w.Records) != 6 {
+		t.Fatalf("got %d records, want 6 (n=6)", len(w.Records))
+	}
+	valid := map[string]bool{"microflow": true, "gigaflow": true, "megaflow": true, "slowpath": true}
+	for i, rec := range w.Records {
+		if !valid[rec.Tier] {
+			t.Errorf("records[%d].Tier = %q", i, rec.Tier)
+		}
+		if rec.TS <= 0 || rec.KeyHash == 0 {
+			t.Errorf("records[%d] = %+v, want wall TS and nonzero key hash", i, rec)
+		}
+		if i > 0 && w.Records[i-1].TS < rec.TS {
+			t.Errorf("records not newest-first at %d", i)
+		}
+	}
+}
+
+func TestLatencyDisabled(t *testing.T) {
+	s, base := startTelemetryService(t, Config{NoLatency: true})
+	if _, err := s.Submit(context.Background(), key(1, 80)); err != nil {
+		t.Fatal(err)
+	}
+	var lat struct {
+		Enabled bool `json:"enabled"`
+	}
+	if err := json.Unmarshal([]byte(httpGet(t, base+"/latency")), &lat); err != nil {
+		t.Fatal(err)
+	}
+	if lat.Enabled {
+		t.Error("/latency reports enabled under NoLatency")
+	}
+	var fl struct {
+		Enabled bool `json:"enabled"`
+	}
+	if err := json.Unmarshal([]byte(httpGet(t, base+"/debug/flight")), &fl); err != nil {
+		t.Fatal(err)
+	}
+	if fl.Enabled {
+		t.Error("/debug/flight reports enabled under NoLatency")
+	}
+}
+
+// TestConcurrentScrape hammers every telemetry endpoint while batches are
+// in flight; the race detector checks the scrape paths never touch
+// worker-owned state off the worker goroutines.
+func TestConcurrentScrape(t *testing.T) {
+	s, base := startTelemetryService(t, Config{
+		Workers:           2,
+		Cache:             gigaflow.CacheConfig{NumTables: 3, TableCapacity: 3 * 256},
+		MicroflowCapacity: 256,
+		TraceSample:       8,
+		FlightRecords:     128,
+	})
+	ctx := context.Background()
+	stop := make(chan struct{})
+	producerDone := make(chan struct{})
+	go func() { // producer: singles and batches until the scrapers finish
+		defer close(producerDone)
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, err := s.Submit(ctx, key(uint64(i%32), 80)); err != nil {
+				return
+			}
+			b := NewBatch(8)
+			for j := 0; j < 8; j++ {
+				b.Add(key(uint64((i+j)%32), 443))
+			}
+			if err := s.SubmitBatch(ctx, b); err != nil {
+				return
+			}
+		}
+	}()
+	var scrapers sync.WaitGroup
+	for _, ep := range []string{"/metrics", "/traces", "/cache", "/latency", "/debug/flight?n=32"} {
+		ep := ep
+		scrapers.Add(1)
+		go func() {
+			defer scrapers.Done()
+			for i := 0; i < 20; i++ {
+				body := httpGet(t, base+ep)
+				if strings.HasPrefix(ep, "/metrics") {
+					continue
+				}
+				var v interface{}
+				if err := json.Unmarshal([]byte(body), &v); err != nil {
+					t.Errorf("%s not JSON while processing: %v", ep, err)
+					return
+				}
+			}
+		}()
+	}
+	scrapers.Wait()
+	close(stop)
+	<-producerDone
 }
 
 func TestTrySubmitDropsCounted(t *testing.T) {

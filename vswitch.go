@@ -25,7 +25,8 @@ type VSwitch struct {
 	uf   *microflow.Cache // optional exact-match first level
 
 	maxIdle int64
-	tracer  *telemetry.Tracer // optional traversal tracer (sampled)
+	tracer  *telemetry.Tracer          // optional traversal tracer (sampled)
+	rec     *telemetry.LatencyRecorder // optional latency attribution + flight ring
 	stats   VSwitchStats
 }
 
@@ -104,6 +105,15 @@ func WithTracer(t *telemetry.Tracer) VSwitchOption {
 	return func(v *VSwitch) { v.tracer = t }
 }
 
+// WithLatencyRecorder attaches a latency attribution layer: every packet
+// is timed (exactly on cold paths, run-estimated on hit runs — see
+// telemetry.LatencyRecorder), attributed to the tier that resolved it,
+// and logged into the recorder's flight ring. Like the VSwitch itself
+// the recorder is single-threaded; give each VSwitch its own.
+func WithLatencyRecorder(r *telemetry.LatencyRecorder) VSwitchOption {
+	return func(v *VSwitch) { v.rec = r }
+}
+
 // NewVSwitch builds a vSwitch around a pipeline with a Gigaflow cache of
 // the given configuration.
 func NewVSwitch(p *Pipeline, cfg CacheConfig, opts ...VSwitchOption) *VSwitch {
@@ -132,6 +142,10 @@ func (v *VSwitch) Microflow() *microflow.Cache { return v.uf }
 // Stats returns a snapshot of the counters.
 func (v *VSwitch) Stats() VSwitchStats { return v.stats }
 
+// Recorder returns the attached latency recorder, or nil. Its methods
+// must run on the goroutine driving the switch.
+func (v *VSwitch) Recorder() *telemetry.LatencyRecorder { return v.rec }
+
 // ProcessResult describes one packet's handling.
 type ProcessResult struct {
 	Verdict Verdict
@@ -153,6 +167,9 @@ type ProcessResult struct {
 //gf:hotpath
 func (v *VSwitch) Process(k Key, now int64) (ProcessResult, error) {
 	v.stats.Packets++
+	if v.rec != nil {
+		v.rec.BeginBatch(now)
+	}
 	if v.tracer != nil {
 		if tb := v.tracer.Start(); tb != nil {
 			return v.processTraced(k, now, tb)
@@ -161,6 +178,10 @@ func (v *VSwitch) Process(k Key, now int64) (ProcessResult, error) {
 	if v.uf != nil {
 		if e, ok := v.uf.Lookup(k, now); ok {
 			v.stats.MicroflowHits++
+			if v.rec != nil {
+				v.rec.Hit(telemetry.TierMicroflow, v.uf.LastHash())
+				v.rec.EndBatch()
+			}
 			return ProcessResult{Verdict: e.Verdict, Final: e.Final, CacheHit: true, MicroflowHit: true}, nil
 		}
 	}
@@ -169,12 +190,20 @@ func (v *VSwitch) Process(k Key, now int64) (ProcessResult, error) {
 		if res.Hit {
 			v.stats.CacheHits++
 			v.memoize(k, res.Final, res.Verdict, now)
+			if v.rec != nil {
+				v.rec.Hit(telemetry.TierGigaflow, k.FlowHash())
+				v.rec.EndBatch()
+			}
 			return ProcessResult{Verdict: res.Verdict, Final: res.Final, CacheHit: true}, nil
 		}
 	} else if e, ok := v.mf.Lookup(k, now); ok {
 		v.stats.CacheHits++
 		final, verdict := e.Apply(k)
 		v.memoize(k, final, verdict, now)
+		if v.rec != nil {
+			v.rec.Hit(telemetry.TierMegaflow, k.FlowHash())
+			v.rec.EndBatch()
+		}
 		return ProcessResult{Verdict: verdict, Final: final, CacheHit: true}, nil
 	}
 	return v.processMiss(k, now, nil)
@@ -215,6 +244,9 @@ func (v *VSwitch) ProcessBatch(keys []Key, out []ProcessResult, errs []error, no
 	} else {
 		mfb = v.mf.BatchLookup()
 	}
+	if v.rec != nil {
+		v.rec.BeginBatch(now)
+	}
 	for i := range keys {
 		k := keys[i]
 		packets++
@@ -228,6 +260,9 @@ func (v *VSwitch) ProcessBatch(keys []Key, out []ProcessResult, errs []error, no
 		if v.uf != nil {
 			if e, ok := ufb.Lookup(k, now); ok {
 				ufHits++
+				if v.rec != nil {
+					v.rec.Hit(telemetry.TierMicroflow, v.uf.LastHash())
+				}
 				out[i] = ProcessResult{Verdict: e.Verdict, Final: e.Final, CacheHit: true, MicroflowHit: true}
 				continue
 			}
@@ -237,6 +272,9 @@ func (v *VSwitch) ProcessBatch(keys []Key, out []ProcessResult, errs []error, no
 			if res.Hit {
 				mainHits++
 				v.memoize(k, res.Final, res.Verdict, now)
+				if v.rec != nil {
+					v.rec.Hit(telemetry.TierGigaflow, k.FlowHash())
+				}
 				out[i] = ProcessResult{Verdict: res.Verdict, Final: res.Final, CacheHit: true}
 				continue
 			}
@@ -244,10 +282,16 @@ func (v *VSwitch) ProcessBatch(keys []Key, out []ProcessResult, errs []error, no
 			mainHits++
 			final, verdict := e.Apply(k)
 			v.memoize(k, final, verdict, now)
+			if v.rec != nil {
+				v.rec.Hit(telemetry.TierMegaflow, k.FlowHash())
+			}
 			out[i] = ProcessResult{Verdict: verdict, Final: final, CacheHit: true}
 			continue
 		}
 		out[i], errs[i] = v.processMiss(k, now, nil)
+	}
+	if v.rec != nil {
+		v.rec.EndBatch()
 	}
 	v.stats.Packets += packets
 	v.stats.MicroflowHits += ufHits
@@ -259,8 +303,15 @@ func (v *VSwitch) ProcessBatch(keys []Key, out []ProcessResult, errs []error, no
 
 // processTraced is Process for the 1-in-N sampled packets: the same
 // lookup chain with every stage timed and recorded into tb. Sampled
-// packets are allowed to allocate — that is the sampling contract.
+// packets are allowed to allocate — that is the sampling contract. Their
+// flight records are stamped exactly and carry FlightTraced, but they
+// are excluded from the tier latency histograms: a traced packet's
+// latency includes the tracing work itself, and folding that in would
+// report the observer as the tail.
 func (v *VSwitch) processTraced(k Key, now int64, tb *telemetry.TraceBuilder) (ProcessResult, error) {
+	if v.rec != nil {
+		v.rec.ColdBegin()
+	}
 	tb.SetKey(k.String())
 	if v.uf != nil {
 		tb.Begin("microflow")
@@ -269,6 +320,9 @@ func (v *VSwitch) processTraced(k Key, now int64, tb *telemetry.TraceBuilder) (P
 		if ok {
 			v.stats.MicroflowHits++
 			tb.Finish(e.Verdict.String(), true, true, nil)
+			if v.rec != nil {
+				v.rec.Cold(telemetry.TierMicroflow, k.FlowHash(), telemetry.FlightTraced)
+			}
 			return ProcessResult{Verdict: e.Verdict, Final: e.Final, CacheHit: true, MicroflowHit: true}, nil
 		}
 	}
@@ -283,6 +337,9 @@ func (v *VSwitch) processTraced(k Key, now int64, tb *telemetry.TraceBuilder) (P
 			v.stats.CacheHits++
 			v.memoize(k, res.Final, res.Verdict, now)
 			tb.Finish(res.Verdict.String(), true, false, nil)
+			if v.rec != nil {
+				v.rec.Cold(telemetry.TierGigaflow, k.FlowHash(), telemetry.FlightTraced)
+			}
 			return ProcessResult{Verdict: res.Verdict, Final: res.Final, CacheHit: true}, nil
 		}
 	} else {
@@ -294,6 +351,9 @@ func (v *VSwitch) processTraced(k Key, now int64, tb *telemetry.TraceBuilder) (P
 			final, verdict := e.Apply(k)
 			v.memoize(k, final, verdict, now)
 			tb.Finish(verdict.String(), true, false, nil)
+			if v.rec != nil {
+				v.rec.Cold(telemetry.TierMegaflow, k.FlowHash(), telemetry.FlightTraced)
+			}
 			return ProcessResult{Verdict: verdict, Final: final, CacheHit: true}, nil
 		}
 	}
@@ -304,6 +364,13 @@ func (v *VSwitch) processTraced(k Key, now int64, tb *telemetry.TraceBuilder) (P
 // traversal, partitioning, and rule installation. tb is nil unless the
 // packet is being traced.
 func (v *VSwitch) processMiss(k Key, now int64, tb *telemetry.TraceBuilder) (ProcessResult, error) {
+	if v.rec != nil {
+		v.rec.ColdBegin() // no-op when arriving via processTraced
+	}
+	flightFlags := telemetry.FlightMiss
+	if tb != nil {
+		flightFlags |= telemetry.FlightTraced
+	}
 	v.stats.CacheMisses++
 	v.stats.Slowpath++
 	if tb != nil {
@@ -318,6 +385,9 @@ func (v *VSwitch) processMiss(k Key, now int64, tb *telemetry.TraceBuilder) (Pro
 		if tb != nil {
 			tb.Finish("", false, false, err)
 		}
+		if v.rec != nil {
+			v.rec.Cold(telemetry.TierSlowpath, k.FlowHash(), flightFlags)
+		}
 		return ProcessResult{}, err
 	}
 	if tb != nil {
@@ -325,18 +395,36 @@ func (v *VSwitch) processMiss(k Key, now int64, tb *telemetry.TraceBuilder) (Pro
 	}
 	installed := true
 	if v.gf != nil {
+		var ev0 uint64
+		if v.rec != nil {
+			ev0 = v.gf.Stats().EvictLRU
+		}
 		if _, err := v.gf.Insert(tr, now); err != nil {
 			v.stats.InstallErrs++
 			installed = false
+			flightFlags |= telemetry.FlightInstallErr
 		} else {
 			v.stats.Installs++
+			flightFlags |= telemetry.FlightInstall
+		}
+		if v.rec != nil && v.gf.Stats().EvictLRU > ev0 {
+			flightFlags |= telemetry.FlightEvict
 		}
 	} else {
+		var ev0 uint64
+		if v.rec != nil {
+			ev0 = v.mf.Stats().EvictLRU
+		}
 		if e := v.mf.Insert(tr, now); e == nil {
 			v.stats.InstallErrs++
 			installed = false
+			flightFlags |= telemetry.FlightInstallErr
 		} else {
 			v.stats.Installs++
+			flightFlags |= telemetry.FlightInstall
+		}
+		if v.rec != nil && v.mf.Stats().EvictLRU > ev0 {
+			flightFlags |= telemetry.FlightEvict
 		}
 	}
 	if tb != nil {
@@ -345,6 +433,9 @@ func (v *VSwitch) processMiss(k Key, now int64, tb *telemetry.TraceBuilder) (Pro
 	v.memoize(k, tr.FinalKey(), tr.Verdict, now)
 	if tb != nil {
 		tb.Finish(tr.Verdict.String(), false, false, nil)
+	}
+	if v.rec != nil {
+		v.rec.Cold(telemetry.TierSlowpath, k.FlowHash(), flightFlags)
 	}
 	return ProcessResult{Verdict: tr.Verdict, Final: tr.FinalKey()}, nil
 }
@@ -461,8 +552,20 @@ func (v *VSwitch) CollectMetrics(reg *telemetry.Registry, worker string) {
 	g("gigaflow_cache_entries", "Installed main-cache entries.", float64(v.CacheEntries()))
 	g("gigaflow_cache_coverage", "Rule-space coverage of the installed entries.", float64(v.Coverage()))
 
+	// Cache-churn rates, uniform across backends: inserts and removals by
+	// cause, so expiry/eviction behavior under load is visible per tier.
+	churn := func(reason string, val uint64) {
+		reg.CounterVec("gigaflow_cache_evictions_total",
+			"Main-cache entries removed, by cause.",
+			"worker", "reason").With(worker, reason).Set(val)
+	}
+
 	if v.gf != nil {
 		gs := v.gf.Stats()
+		c("gigaflow_cache_inserts_total", "Entries created in the main cache.", gs.EntriesCreated)
+		churn("lru", gs.EvictLRU)
+		churn("expired", gs.Expired)
+		churn("revoked", gs.Revoked)
 		c("gigaflow_cache_stalls_total", "Misses that matched a partial entry chain.", gs.Stalls)
 		c("gigaflow_shared_reuse_total", "Sub-traversal installs deduplicated against resident entries.", gs.SharedReuse)
 		c("gigaflow_conflicts_total", "Entries replaced due to same-predicate conflicts.", gs.Conflicts)
@@ -495,6 +598,12 @@ func (v *VSwitch) CollectMetrics(reg *telemetry.Registry, worker string) {
 		}
 	} else {
 		ms := v.mf.Snapshot()
+		c("gigaflow_cache_inserts_total", "Entries created in the main cache.", ms.Inserts)
+		churn("lru", ms.EvictLRU)
+		churn("expired", ms.Expired)
+		churn("revoked", ms.Revoked)
+		c("gigaflow_megaflow_replaced_total", "Entries replaced by an equal-mask reinstall.", ms.Replaced)
+		c("gigaflow_megaflow_rejected_total", "Installs rejected by the Megaflow cache.", ms.Rejected)
 		g("gigaflow_cache_capacity", "Total main-cache entry capacity.", float64(ms.Capacity))
 		g("gigaflow_megaflow_masks", "Distinct TSS tuples in the Megaflow cache.", float64(ms.Masks))
 		c("gigaflow_tuple_probes_total", "TSS tuple probes across lookups.", ms.TupleProbes)
@@ -505,7 +614,32 @@ func (v *VSwitch) CollectMetrics(reg *telemetry.Registry, worker string) {
 		us := v.uf.Snapshot()
 		g("gigaflow_microflow_entries", "Resident exact-match entries.", float64(us.Len))
 		g("gigaflow_microflow_capacity", "Exact-match tier entry capacity.", float64(us.Capacity))
+		c("gigaflow_microflow_inserts_total", "Exact-match entries memoized.", us.Inserts)
 		c("gigaflow_microflow_evictions_total", "Exact-match entries evicted by LRU.", us.EvictLRU)
+		c("gigaflow_microflow_expired_total", "Exact-match entries removed by idle expiry.", us.Expired)
 		c("gigaflow_microflow_invalidated_total", "Exact-match entries dropped by revalidation.", us.Invalid)
+	}
+
+	if v.rec != nil {
+		lat := reg.GaugeVec("gigaflow_latency_ns",
+			"Per-tier packet latency quantile estimate (ns).", "worker", "tier", "quantile")
+		pkts := reg.CounterVec("gigaflow_latency_packets_total",
+			"Packets attributed to this latency tier.", "worker", "tier")
+		for t := telemetry.Tier(0); t < telemetry.NumTiers; t++ {
+			h := v.rec.Histogram(t)
+			tl := t.String()
+			pkts.With(worker, tl).Set(h.Count())
+			if h.Count() == 0 {
+				continue
+			}
+			ls := h.Snapshot()
+			lat.With(worker, tl, "0.5").Set(ls.P50)
+			lat.With(worker, tl, "0.9").Set(ls.P90)
+			lat.With(worker, tl, "0.99").Set(ls.P99)
+			lat.With(worker, tl, "0.999").Set(ls.P999)
+			lat.With(worker, tl, "max").Set(float64(ls.MaxNs))
+		}
+		c("gigaflow_flight_records_total", "Flight-recorder records written.", v.rec.Seq())
+		c("gigaflow_latency_spikes_total", "Flight-recorder spike captures triggered.", v.rec.Spikes())
 	}
 }
