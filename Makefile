@@ -1,12 +1,12 @@
 GO ?= go
 
-.PHONY: ci build test race vet lint fmt-check bench bench-gate bench-json deprecated-check fuzz fuzz-regress
+.PHONY: ci build test race vet lint lint-json suppress-check fmt-check bench bench-gate bench-json deprecated-check fuzz fuzz-regress
 
 ## ci: the standard verification gate — vet, build, race-enabled tests,
-## the project linter, a gofmt cleanliness check, the deprecated-alias
-## sweep, and the checked-in fuzz corpus replayed as regression tests.
-## Run before every commit.
-ci: vet build race lint fmt-check deprecated-check fuzz-regress
+## the project linter, a gofmt cleanliness check, the suppression audit,
+## the deprecated-alias sweep, and the checked-in fuzz corpus replayed as
+## regression tests. Run before every commit.
+ci: vet build race lint suppress-check fmt-check deprecated-check fuzz-regress
 
 build:
 	$(GO) build ./...
@@ -20,11 +20,39 @@ race:
 vet:
 	$(GO) vet ./...
 
-## lint: gflint, the project-specific analyzer suite (hotalloc, atomicmix,
-## lockdiscipline, detrand). Separate from vet so generic and
-## project-invariant failures are distinguishable.
+## lint: gflint, the project-specific analyzer suite (hotalloc, hotcall,
+## goroleak, atomicmix, lockdiscipline, detrand). Separate from vet so
+## generic and project-invariant failures are distinguishable. Builds the
+## binary once (the suite shares one type-checked program; `go run` would
+## rebuild per invocation), prints the per-analyzer coverage summary, and
+## regenerates the checked-in HOTPATH.md certification report — commit it
+## when it changes. Exit 1 means findings; exit 2 means gflint itself
+## could not load or parse the module.
 lint:
-	$(GO) run ./cmd/gflint ./...
+	@tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
+	$(GO) build -o $$tmp/gflint ./cmd/gflint && \
+	$$tmp/gflint -summary -hotcert HOTPATH.md ./...
+
+## lint-json: the same run as a machine-readable artifact (findings plus
+## per-analyzer coverage) in gflint.json, for CI upload. Exit status
+## propagates like lint's.
+lint-json:
+	@tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
+	$(GO) build -o $$tmp/gflint ./cmd/gflint && \
+	$$tmp/gflint -json ./... > gflint.json; \
+	status=$$?; echo "wrote gflint.json"; exit $$status
+
+## suppress-check: audit //gflint:ignore suppressions. Production code
+## carries none (TestModuleClean enforces zero); any that ever appear
+## must name an analyzer and a reason — a bare ignore fails here. The
+## testdata fixtures are exempt: they exercise the directive itself.
+suppress-check:
+	@out=$$(grep -rn --include='*.go' '//gflint:ignore' . | grep -v '/testdata/' | \
+		grep -vE '//.*//gflint:ignore' | grep -v '".*//gflint:ignore' | \
+		grep -vE '//gflint:ignore [a-z]+ [^ ]+'); \
+	if [ -n "$$out" ]; then \
+		echo "reason-less //gflint:ignore (format: //gflint:ignore <analyzer> <reason>):"; \
+		echo "$$out"; exit 1; fi
 
 ## fmt-check: testdata fixtures are excluded — they intentionally contain
 ## findings and `// want` annotations laid out for the analyzer tests.

@@ -46,11 +46,33 @@ type Analyzer struct {
 	Name string
 	Doc  string
 	Run  func(prog *Program, report Reporter)
+	// Summary, when non-nil, describes what the analyzer covered in prog
+	// in a short clause ("47 hot functions"), for gflint's per-analyzer
+	// summary lines and the -json coverage block.
+	Summary func(prog *Program) string
 }
 
 // Analyzers returns the full gflint suite.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{HotAlloc, AtomicMix, LockDiscipline, DetRand}
+	return []*Analyzer{HotAlloc, HotCall, GoroLeak, AtomicMix, LockDiscipline, DetRand}
+}
+
+// AnalyzersNamed selects analyzers from the suite by name.
+func AnalyzersNamed(names []string) ([]*Analyzer, error) {
+	all := Analyzers()
+	byName := make(map[string]*Analyzer, len(all))
+	for _, a := range all {
+		byName[a.Name] = a
+	}
+	var out []*Analyzer
+	for _, name := range names {
+		a, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("analysis: unknown analyzer %q", name)
+		}
+		out = append(out, a)
+	}
+	return out, nil
 }
 
 // Run executes the analyzers over the program, applies //gflint:ignore
@@ -168,14 +190,25 @@ func collectSuppressions(prog *Program, analyzers []*Analyzer) (suppressions, []
 // hasDirective reports whether any comment in the group carries the given
 // standalone directive (e.g. "//gf:hotpath"), optionally followed by text.
 func hasDirective(group *ast.CommentGroup, directive string) bool {
+	ok, _ := directiveText(group, directive)
+	return ok
+}
+
+// directiveText reports whether the comment group carries the directive,
+// and the trimmed text following it (the reason for directives that
+// require one).
+func directiveText(group *ast.CommentGroup, directive string) (bool, string) {
 	if group == nil {
-		return false
+		return false, ""
 	}
 	for _, c := range group.List {
 		text := strings.TrimPrefix(c.Text, "//")
-		if text == directive || strings.HasPrefix(text, directive+" ") {
-			return true
+		if text == directive {
+			return true, ""
+		}
+		if rest, ok := strings.CutPrefix(text, directive+" "); ok {
+			return true, strings.TrimSpace(rest)
 		}
 	}
-	return false
+	return false, ""
 }

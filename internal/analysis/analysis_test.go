@@ -2,6 +2,7 @@ package analysis
 
 import (
 	"fmt"
+	"os"
 	"path/filepath"
 	"regexp"
 	"strings"
@@ -139,6 +140,57 @@ func TestModuleClean(t *testing.T) {
 				}
 			}
 		}
+	}
+}
+
+func TestHotCallFixture(t *testing.T) {
+	checkGolden(t, loadFixture(t, "hotcall"), []*Analyzer{HotCall})
+}
+
+func TestGoroLeakFixture(t *testing.T) {
+	checkGolden(t, loadFixture(t, "goroleak"), []*Analyzer{GoroLeak})
+}
+
+// TestHotCertReport pins HOTPATH.md: the report must be byte-identical
+// across two independent loads (no map-order or position leakage) and
+// must match the checked-in file `make lint` regenerates.
+func TestHotCertReport(t *testing.T) {
+	load := func() string {
+		prog, err := LoadModule(filepath.Join("..", ".."))
+		if err != nil {
+			t.Fatalf("loading module: %v", err)
+		}
+		return HotpathReport(prog)
+	}
+	first, second := load(), load()
+	if first != second {
+		t.Fatal("HotpathReport is not deterministic across loads")
+	}
+	if strings.Contains(first, "FAILED") {
+		t.Error("HOTPATH.md reports uncertified roots; run gflint for the findings")
+	}
+	disk, err := os.ReadFile(filepath.Join("..", "..", "HOTPATH.md"))
+	if err != nil {
+		t.Fatalf("reading checked-in HOTPATH.md: %v", err)
+	}
+	if string(disk) != first {
+		t.Error("checked-in HOTPATH.md is stale; run `make lint` to regenerate it")
+	}
+}
+
+// BenchmarkGflintModule times one full lint pass: a single load and
+// type-check shared by every analyzer, then the whole suite plus the
+// certification report. This is the cost `make lint` pays.
+func BenchmarkGflintModule(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		prog, err := LoadModule(filepath.Join("..", ".."))
+		if err != nil {
+			b.Fatalf("loading module: %v", err)
+		}
+		if findings := Run(prog, Analyzers()); len(findings) != 0 {
+			b.Fatalf("module has %d finding(s); first: %s", len(findings), findings[0])
+		}
+		_ = HotpathReport(prog)
 	}
 }
 

@@ -1,6 +1,7 @@
 package analysis
 
 import (
+	"fmt"
 	"go/ast"
 	"go/token"
 	"go/types"
@@ -20,67 +21,78 @@ var AtomicMix = &Analyzer{
 	Name: "atomicmix",
 	Doc:  "a field accessed via sync/atomic anywhere must be accessed atomically everywhere",
 	Run:  runAtomicMix,
+	Summary: func(prog *Program) string {
+		return fmt.Sprintf("%d atomically-accessed fields tracked", len(collectAtomicFields(prog).fields))
+	},
+}
+
+// atomicFieldSet is pass 1's result: fields passed by address to
+// sync/atomic functions, and the selector nodes making up those
+// sanctioned accesses. Object identity holds across packages because
+// the whole program is loaded through one loader.
+type atomicFieldSet struct {
+	fields     map[*types.Var]ast.Expr // field -> one atomic-use site
+	sanctioned map[*ast.SelectorExpr]bool
+}
+
+func collectAtomicFields(prog *Program) atomicFieldSet {
+	set := atomicFieldSet{
+		fields:     make(map[*types.Var]ast.Expr),
+		sanctioned: make(map[*ast.SelectorExpr]bool),
+	}
+	// The shared call graph already resolved every call site in the
+	// module (bodies, literals, and package-level initializers alike);
+	// filter it for sync/atomic callees instead of re-walking files.
+	for _, fn := range prog.Functions() {
+		info := fn.Pkg.Info
+		for _, call := range fn.Calls() {
+			obj := calleeObject(info, call.Site)
+			if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "sync/atomic" {
+				continue
+			}
+			for _, arg := range call.Site.Args {
+				un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok || un.Op != token.AND {
+					continue
+				}
+				sel, ok := ast.Unparen(un.X).(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				if f := fieldObject(info, sel); f != nil {
+					set.fields[f] = sel
+					set.sanctioned[sel] = true
+				}
+			}
+		}
+	}
+	return set
 }
 
 func runAtomicMix(prog *Program, report Reporter) {
-	// Pass 1: collect fields passed by address to sync/atomic functions,
-	// and the selector nodes making up those sanctioned accesses. Object
-	// identity holds across packages because the whole program is loaded
-	// through one loader.
-	atomicFields := make(map[*types.Var]ast.Expr) // field -> one atomic-use site
-	sanctioned := make(map[*ast.SelectorExpr]bool)
-	for _, pkg := range prog.Pkgs {
-		for _, file := range pkg.Files {
-			ast.Inspect(file, func(n ast.Node) bool {
-				call, ok := n.(*ast.CallExpr)
-				if !ok {
-					return true
-				}
-				obj := calleeObject(pkg.Info, call)
-				if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "sync/atomic" {
-					return true
-				}
-				for _, arg := range call.Args {
-					un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
-					if !ok || un.Op != token.AND {
-						continue
-					}
-					sel, ok := ast.Unparen(un.X).(*ast.SelectorExpr)
-					if !ok {
-						continue
-					}
-					if f := fieldObject(pkg.Info, sel); f != nil {
-						atomicFields[f] = sel
-						sanctioned[sel] = true
-					}
-				}
-				return true
-			})
-		}
-	}
-	if len(atomicFields) == 0 {
+	set := collectAtomicFields(prog)
+	if len(set.fields) == 0 {
 		return
 	}
 	// Pass 2: any other access to those fields is a plain (racy) access.
-	for _, pkg := range prog.Pkgs {
-		for _, file := range pkg.Files {
-			ast.Inspect(file, func(n ast.Node) bool {
-				sel, ok := n.(*ast.SelectorExpr)
-				if !ok || sanctioned[sel] {
-					return true
-				}
-				s, ok := pkg.Info.Selections[sel]
-				if !ok || s.Kind() != types.FieldVal {
-					return true
-				}
-				f := s.Obj().(*types.Var)
-				if _, mixed := atomicFields[f]; mixed {
-					report(sel.Pos(), "plain access to field %s.%s, which is updated via sync/atomic at %s; every access must be atomic",
-						recvName(s.Recv()), f.Name(), prog.Fset.Position(atomicFields[f].Pos()))
-				}
+	for _, fn := range prog.Functions() {
+		info := fn.Pkg.Info
+		fn.Walk(func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || set.sanctioned[sel] {
 				return true
-			})
-		}
+			}
+			s, ok := info.Selections[sel]
+			if !ok || s.Kind() != types.FieldVal {
+				return true
+			}
+			f := s.Obj().(*types.Var)
+			if _, mixed := set.fields[f]; mixed {
+				report(sel.Pos(), "plain access to field %s.%s, which is updated via sync/atomic at %s; every access must be atomic",
+					recvName(s.Recv()), f.Name(), prog.Fset.Position(set.fields[f].Pos()))
+			}
+			return true
+		})
 	}
 }
 

@@ -1,6 +1,7 @@
 package analysis
 
 import (
+	"fmt"
 	"go/ast"
 	"go/types"
 	"strings"
@@ -24,6 +25,15 @@ var DetRand = &Analyzer{
 	Name: "detrand",
 	Doc:  "simulation code must use injected seeded randomness and virtual time",
 	Run:  runDetRand,
+	Summary: func(prog *Program) string {
+		n := 0
+		for _, pkg := range prog.Pkgs {
+			if detRandInScope(pkg.Path) {
+				n++
+			}
+		}
+		return fmt.Sprintf("%d scoped packages", n)
+	},
 }
 
 // detRandScopes are the import-path fragments whose packages must be
@@ -45,37 +55,39 @@ var detRandAllowed = map[string]bool{
 }
 
 func runDetRand(prog *Program, report Reporter) {
-	for _, pkg := range prog.Pkgs {
-		if !detRandInScope(pkg.Path) {
+	// The shared function index covers every executable context in a
+	// scoped package — declarations, literals, and package-level variable
+	// initializers (the init@file pseudo-functions) — each visited once.
+	for _, fn := range prog.Functions() {
+		if !detRandInScope(fn.Pkg.Path) {
 			continue
 		}
-		for _, file := range pkg.Files {
-			ast.Inspect(file, func(n ast.Node) bool {
-				sel, ok := n.(*ast.SelectorExpr)
-				if !ok {
-					return true
-				}
-				pkgPath, ok := packageQualifier(pkg.Info, sel)
-				if !ok {
-					return true
-				}
-				// Only uses of package-level functions matter: type
-				// references (*rand.Rand in a signature) are exactly how
-				// injected randomness is threaded, and constants are inert.
-				if _, isFunc := pkg.Info.Uses[sel.Sel].(*types.Func); !isFunc {
-					return true
-				}
-				switch {
-				case pkgPath == "math/rand" || pkgPath == "math/rand/v2":
-					if !detRandAllowed[sel.Sel.Name] {
-						report(sel.Pos(), "global math/rand.%s draws from the process-wide source and breaks fixed-seed replay; thread an injected *rand.Rand through the constructor or config", sel.Sel.Name)
-					}
-				case pkgPath == "time" && (sel.Sel.Name == "Now" || sel.Sel.Name == "Since"):
-					report(sel.Pos(), "time.%s leaks wall-clock into simulation results; thread virtual time through the caller", sel.Sel.Name)
-				}
+		info := fn.Pkg.Info
+		fn.Walk(func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
 				return true
-			})
-		}
+			}
+			pkgPath, ok := packageQualifier(info, sel)
+			if !ok {
+				return true
+			}
+			// Only uses of package-level functions matter: type
+			// references (*rand.Rand in a signature) are exactly how
+			// injected randomness is threaded, and constants are inert.
+			if _, isFunc := info.Uses[sel.Sel].(*types.Func); !isFunc {
+				return true
+			}
+			switch {
+			case pkgPath == "math/rand" || pkgPath == "math/rand/v2":
+				if !detRandAllowed[sel.Sel.Name] {
+					report(sel.Pos(), "global math/rand.%s draws from the process-wide source and breaks fixed-seed replay; thread an injected *rand.Rand through the constructor or config", sel.Sel.Name)
+				}
+			case pkgPath == "time" && (sel.Sel.Name == "Now" || sel.Sel.Name == "Since"):
+				report(sel.Pos(), "time.%s leaks wall-clock into simulation results; thread virtual time through the caller", sel.Sel.Name)
+			}
+			return true
+		})
 	}
 }
 

@@ -1,6 +1,7 @@
 package analysis
 
 import (
+	"fmt"
 	"go/ast"
 	"go/token"
 	"go/types"
@@ -23,78 +24,94 @@ import (
 //     the interface word; everything else escapes).
 //
 // Cold work — tracing a sampled packet, compiling a slowpath miss — must
-// be factored into separate, unannotated functions rather than waived:
-// the hot function stays small enough to read at a glance and the
-// invariant stays machine-checked.
+// be factored into separate functions behind a //gf:hotpath-safe boundary
+// rather than waived: the hot function stays small enough to read at a
+// glance and the invariant stays machine-checked.
+//
+// HotAlloc is intra-procedural: it checks annotated bodies only. Its
+// interprocedural twin hotcall applies the same allocation rules (plus
+// the blocking rules) to every function transitively reachable from a
+// //gf:hotpath root.
 var HotAlloc = &Analyzer{
 	Name: "hotalloc",
 	Doc:  "//gf:hotpath functions must be free of heap-allocating constructs",
 	Run:  runHotAlloc,
-}
-
-const hotpathDirective = "gf:hotpath"
-
-func runHotAlloc(prog *Program, report Reporter) {
-	for _, pkg := range prog.Pkgs {
-		for _, file := range pkg.Files {
-			for _, decl := range file.Decls {
-				fn, ok := decl.(*ast.FuncDecl)
-				if !ok || fn.Body == nil || !hasDirective(fn.Doc, hotpathDirective) {
-					continue
-				}
-				checkHotBody(pkg.Info, fn, report)
+	Summary: func(prog *Program) string {
+		n := 0
+		for _, fn := range prog.Functions() {
+			if fn.Decl != nil && hasDirective(fn.Decl.Doc, hotpathDirective) {
+				n++
 			}
 		}
+		return fmt.Sprintf("%d hot functions", n)
+	},
+}
+
+const (
+	hotpathDirective = "gf:hotpath"
+	hotsafeDirective = "gf:hotpath-safe"
+)
+
+func runHotAlloc(prog *Program, report Reporter) {
+	for _, fn := range prog.Functions() {
+		if fn.Decl == nil || fn.Decl.Body == nil || !hasDirective(fn.Decl.Doc, hotpathDirective) {
+			continue
+		}
+		checkAllocBody(fn.Pkg.Info, fn.Decl.Body, fn.Decl.Name.Name, report)
 	}
 }
 
-func checkHotBody(info *types.Info, fn *ast.FuncDecl, report Reporter) {
-	ast.Inspect(fn.Body, func(n ast.Node) bool {
+// checkAllocBody applies the hot-path allocation rules to one function
+// body. label names the function in messages — the bare name for
+// hotalloc's annotated roots, "name (hot via root)" when hotcall checks
+// a transitively reachable callee.
+func checkAllocBody(info *types.Info, body *ast.BlockStmt, label string, report Reporter) {
+	ast.Inspect(body, func(n ast.Node) bool {
 		switch n := n.(type) {
 		case *ast.FuncLit:
-			report(n.Pos(), "closure literal in hot function %s allocates; hoist it or pass a method value from a cold caller", fn.Name.Name)
+			report(n.Pos(), "closure literal in hot function %s allocates; hoist it or pass a method value from a cold caller", label)
 			return false // the closure body is cold by definition
 		case *ast.CompositeLit:
 			switch info.TypeOf(n).Underlying().(type) {
 			case *types.Map:
-				report(n.Pos(), "map literal in hot function %s allocates", fn.Name.Name)
+				report(n.Pos(), "map literal in hot function %s allocates", label)
 			case *types.Slice:
-				report(n.Pos(), "slice literal in hot function %s allocates", fn.Name.Name)
+				report(n.Pos(), "slice literal in hot function %s allocates", label)
 			}
 		case *ast.UnaryExpr:
 			if n.Op == token.AND {
 				if _, ok := n.X.(*ast.CompositeLit); ok {
-					report(n.Pos(), "&composite literal in hot function %s heap-allocates", fn.Name.Name)
+					report(n.Pos(), "&composite literal in hot function %s heap-allocates", label)
 				}
 			}
 		case *ast.BinaryExpr:
 			if n.Op == token.ADD && isString(info.TypeOf(n)) {
-				report(n.Pos(), "string concatenation in hot function %s allocates", fn.Name.Name)
+				report(n.Pos(), "string concatenation in hot function %s allocates", label)
 			}
 		case *ast.AssignStmt:
 			if n.Tok == token.ADD_ASSIGN && len(n.Lhs) == 1 && isString(info.TypeOf(n.Lhs[0])) {
-				report(n.Pos(), "string append (+=) in hot function %s allocates", fn.Name.Name)
+				report(n.Pos(), "string append (+=) in hot function %s allocates", label)
 			}
 		case *ast.CallExpr:
-			checkHotCall(info, fn, n, report)
+			checkAllocCall(info, label, n, report)
 		}
 		return true
 	})
 }
 
-func checkHotCall(info *types.Info, fn *ast.FuncDecl, call *ast.CallExpr, report Reporter) {
+func checkAllocCall(info *types.Info, label string, call *ast.CallExpr, report Reporter) {
 	// Builtins: append / make / new.
 	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
 		if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
 			switch id.Name {
 			case "append":
 				if len(call.Args) > 0 && !isReusableBuffer(call.Args[0]) {
-					report(call.Pos(), "append to a non-field-backed slice in hot function %s may allocate; use a reusable buffer (c.buf = append(c.buf[:0], ...))", fn.Name.Name)
+					report(call.Pos(), "append to a non-field-backed slice in hot function %s may allocate; use a reusable buffer (c.buf = append(c.buf[:0], ...))", label)
 				}
 			case "make":
-				report(call.Pos(), "make in hot function %s allocates; preallocate in the constructor", fn.Name.Name)
+				report(call.Pos(), "make in hot function %s allocates; preallocate in the constructor", label)
 			case "new":
-				report(call.Pos(), "new in hot function %s heap-allocates", fn.Name.Name)
+				report(call.Pos(), "new in hot function %s heap-allocates", label)
 			}
 			return
 		}
@@ -104,16 +121,16 @@ func checkHotCall(info *types.Info, fn *ast.FuncDecl, call *ast.CallExpr, report
 		if len(call.Args) == 1 {
 			to, from := tv.Type, info.TypeOf(call.Args[0])
 			if isString(to) && !isString(from) && !isUntypedConst(info, call.Args[0]) {
-				report(call.Pos(), "conversion to string in hot function %s allocates", fn.Name.Name)
+				report(call.Pos(), "conversion to string in hot function %s allocates", label)
 			} else if isByteOrRuneSlice(to) && isString(from) {
-				report(call.Pos(), "string-to-slice conversion in hot function %s allocates", fn.Name.Name)
+				report(call.Pos(), "string-to-slice conversion in hot function %s allocates", label)
 			}
 		}
 		return
 	}
 	// Calls into package fmt.
 	if obj := calleeObject(info, call); obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "fmt" {
-		report(call.Pos(), "fmt.%s in hot function %s allocates; move formatting to a cold path", obj.Name(), fn.Name.Name)
+		report(call.Pos(), "fmt.%s in hot function %s allocates; move formatting to a cold path", obj.Name(), label)
 		return
 	}
 	// Interface boxing of non-pointer arguments.
@@ -133,7 +150,7 @@ func checkHotCall(info *types.Info, fn *ast.FuncDecl, call *ast.CallExpr, report
 			continue
 		}
 		if boxesIntoInterface(info, pt, arg) {
-			report(arg.Pos(), "passing non-pointer %s as interface in hot function %s boxes (heap-allocates) the value", info.TypeOf(arg), fn.Name.Name)
+			report(arg.Pos(), "passing non-pointer %s as interface in hot function %s boxes (heap-allocates) the value", info.TypeOf(arg), label)
 		}
 	}
 }

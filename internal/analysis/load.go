@@ -29,6 +29,16 @@ type Package struct {
 type Program struct {
 	Fset *token.FileSet
 	Pkgs []*Package
+	// Module is the go.mod module path; analyzers use it to tell module
+	// packages type-checked as dependencies (in pattern-limited runs)
+	// from genuinely external code.
+	Module string
+
+	// Shared analyzer infrastructure, built once on demand: the function
+	// index and call graph (Functions/CallGraph) and the hot-path
+	// certification (certification). Analyzers must not mutate them.
+	graph *CallGraph
+	cert  *certification
 }
 
 // LoadModule loads and type-checks every package under the module rooted
@@ -89,7 +99,7 @@ func LoadDirs(root string, rels ...string) (*Program, error) {
 		loading: make(map[string]bool),
 	}
 	l.std = importer.ForCompiler(l.fset, "source", nil)
-	prog := &Program{Fset: l.fset}
+	prog := &Program{Fset: l.fset, Module: modPath}
 	seen := make(map[string]bool)
 	for _, rel := range rels {
 		path := l.importPath(rel)

@@ -1,6 +1,7 @@
 package analysis
 
 import (
+	"fmt"
 	"go/ast"
 	"go/token"
 	"go/types"
@@ -33,23 +34,18 @@ var LockDiscipline = &Analyzer{
 	Name: "lockdiscipline",
 	Doc:  "locks must be released on all paths and never held across channel operations",
 	Run:  runLockDiscipline,
+	Summary: func(prog *Program) string {
+		return fmt.Sprintf("%d function bodies scanned", len(prog.Functions()))
+	},
 }
 
 func runLockDiscipline(prog *Program, report Reporter) {
-	for _, pkg := range prog.Pkgs {
-		for _, file := range pkg.Files {
-			ast.Inspect(file, func(n ast.Node) bool {
-				switch fn := n.(type) {
-				case *ast.FuncDecl:
-					if fn.Body != nil {
-						checkLockBody(pkg.Info, prog, fn.Body, report)
-					}
-				case *ast.FuncLit:
-					checkLockBody(pkg.Info, prog, fn.Body, report)
-					return false // the literal's body is its own function
-				}
-				return true
-			})
+	// Each entry in the shared function index — declarations and literals
+	// alike — is scanned as its own function: a literal's locks are its
+	// own, not its enclosing function's.
+	for _, fn := range prog.Functions() {
+		if body := fn.Body(); body != nil {
+			checkLockBody(fn.Pkg.Info, prog, body, report)
 		}
 	}
 }

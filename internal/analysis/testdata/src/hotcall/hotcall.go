@@ -1,0 +1,165 @@
+// Package hotcall exercises gflint's interprocedural hot-path
+// certification: allocations and blocking constructs planted several
+// calls away from a //gf:hotpath root, interface dispatch, method
+// values, deferred calls, unresolvable dynamic calls, and the
+// //gf:hotpath-safe boundary grammar.
+package hotcall
+
+import (
+	"strconv"
+	"sync"
+	"time"
+)
+
+// --- allocation planted two calls deep ------------------------------
+
+func helperDepth1(n int) int { return helperDepth2(n) }
+
+func helperDepth2(n int) int {
+	buf := make([]int, n) // want "make in hot function helperDepth2"
+	return len(buf)
+}
+
+// --- channel op planted two calls deep ------------------------------
+
+func chanDepth1(c chan int) { chanDepth2(c) }
+
+func chanDepth2(c chan int) {
+	c <- 1 // want "channel send in hot function chanDepth2"
+}
+
+//gf:hotpath
+func Root(n int, c chan int) int {
+	x := helperDepth1(n)
+	chanDepth1(c)
+	return x
+}
+
+// --- blocking rules in the root body itself -------------------------
+
+//gf:hotpath
+func RootDefer(mu *sync.Mutex) {
+	mu.Lock()         // want "call to sync.(*Mutex).Lock in hot function RootDefer"
+	defer mu.Unlock() // want "defer in hot function RootDefer" want "call to sync.(*Mutex).Unlock"
+}
+
+//gf:hotpath
+func RootClock() int64 {
+	return time.Now().UnixNano() // want "time.Now in hot function RootClock"
+}
+
+//gf:hotpath
+func RootSpawn() {
+	go bgWork() // want "go statement in hot function RootSpawn"
+}
+
+func bgWork() {}
+
+//gf:hotpath
+func RootClose(c chan int) {
+	close(c) // want "channel close in hot function RootClose"
+}
+
+func waitDepth(c chan int) int {
+	select { // want "select in hot function waitDepth"
+	case v := <-c: // want "channel receive in hot function waitDepth"
+		return v
+	default:
+		return 0
+	}
+}
+
+//gf:hotpath
+func RootSelect(c chan int) int { return waitDepth(c) }
+
+// --- interface dispatch: every implementor is certified -------------
+
+type counter interface{ bump() int }
+
+type atomicCounter struct{ n int }
+
+func (a *atomicCounter) bump() int { a.n++; return a.n }
+
+type mapCounter struct{ m map[string]int }
+
+func (m *mapCounter) bump() int {
+	m.m = map[string]int{} // want "map literal in hot function (*mapCounter).bump"
+	return len(m.m)
+}
+
+//gf:hotpath
+func RootIface(c counter) int {
+	return c.bump()
+}
+
+// --- method value: a func-value call resolves to the taken method ---
+
+type scaler struct {
+	k int
+	s string
+}
+
+func (s *scaler) scale(n int) string {
+	_ = n * s.k
+	return s.s + "x" // want "string concatenation in hot function (*scaler).scale"
+}
+
+var defaultScaler scaler
+
+// scaleFn takes (*scaler).scale's value, putting it in the candidate
+// pool for func-value calls of matching signature.
+var scaleFn = defaultScaler.scale
+
+//gf:hotpath
+func RootMethodValue(f func(int) string) string {
+	return f(3)
+}
+
+// --- unresolvable dynamic call --------------------------------------
+
+type callbacks struct{ onEvict func(uint32) uint32 }
+
+//gf:hotpath
+func RootUnresolved(cb callbacks) uint32 {
+	return cb.onEvict(1) // want "dynamic call in hot function RootUnresolved cannot be resolved statically"
+}
+
+// --- external calls outside the certifiable leaves ------------------
+
+//gf:hotpath
+func RootExternal(n int) string {
+	return strconv.Itoa(n) // want "call to strconv.Itoa in hot function RootExternal is not certifiable"
+}
+
+// --- //gf:hotpath-safe boundaries -----------------------------------
+
+// coldCompile allocates freely: certification stops at the boundary.
+//
+//gf:hotpath-safe compilation is cold by definition; runs once per miss
+func coldCompile(n int) []int {
+	out := make([]int, 0, n) // no finding: behind the boundary
+	for i := 0; i < n; i++ {
+		out = append(out, len(strconv.Itoa(i)))
+	}
+	return out
+}
+
+//gf:hotpath
+func RootBoundary(n int) int {
+	return len(coldCompile(n))
+}
+
+//gf:hotpath-safe
+func badBoundary() {} // want "//gf:hotpath-safe on badBoundary needs a reason"
+
+//gf:hotpath
+//gf:hotpath-safe because confused
+func bothDirectives() {} // want "cannot be a certification root and a cold boundary"
+
+// --- suppression with reason ----------------------------------------
+
+//gf:hotpath
+func RootWaived(c chan int) {
+	//gflint:ignore hotcall startup-only notification, measured cold
+	c <- 1
+}

@@ -195,9 +195,11 @@ func (r *LatencyRecorder) pendingHits() uint32 {
 }
 
 // EndBatch closes the trailing hit run: one monotonic clock read when
-// the batch ended in hits, none otherwise.
+// the batch ended in hits, none otherwise. This is the recorder's
+// anchored stamp — the one sanctioned clock read on the hit path, paid
+// per batch rather than per packet.
 //
-//gf:hotpath
+//gf:hotpath-safe the recorder's anchored stamp: one clock read per batch, amortized across the run's hits
 func (r *LatencyRecorder) EndBatch() {
 	if r.pendingHits() == 0 {
 		return
@@ -208,9 +210,9 @@ func (r *LatencyRecorder) EndBatch() {
 // closeRun shares the span since runStart uniformly across the pending
 // hit records and folds the estimate into the per-tier histograms. The
 // records themselves are not touched: one runInfo entry covers them
-// all, and dumps join it back in — O(1) regardless of run length.
-//
-//gf:hotpath
+// all, and dumps join it back in — O(1) regardless of run length. It is
+// reached only behind the EndBatch/ColdBegin clock boundaries, so it is
+// not itself a certification root.
 func (r *LatencyRecorder) closeRun(d int64) {
 	n := uint64(r.pendingHits())
 	span := d - r.runStart

@@ -103,6 +103,8 @@ func (t *Tracer) Start() *TraceBuilder {
 
 // newBuilder stamps the wall clock and allocates the builder for a
 // sampled packet. Cold by construction: called once per 1-in-N packets.
+//
+//gf:hotpath-safe runs once per sampled packet; stamps the wall clock and allocates the builder by contract
 func (t *Tracer) newBuilder() *TraceBuilder {
 	now := time.Now()
 	return &TraceBuilder{

@@ -137,6 +137,8 @@ func (c *Classifier[T]) Delete(m flow.Match, priority int) bool {
 }
 
 // rebuildOrder refreshes the priority-descending tuple ordering.
+//
+//gf:hotpath-safe runs only on the first lookup after a rule change; sorting here keeps steady-state lookups allocation-free
 func (c *Classifier[T]) rebuildOrder() {
 	c.order = c.order[:0]
 	for _, tp := range c.tuples {

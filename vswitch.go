@@ -308,6 +308,8 @@ func (v *VSwitch) ProcessBatch(keys []Key, out []ProcessResult, errs []error, no
 // are excluded from the tier latency histograms: a traced packet's
 // latency includes the tracing work itself, and folding that in would
 // report the observer as the tail.
+//
+//gf:hotpath-safe sampled 1-in-N diversion; tracing allocates and reads the clock by contract
 func (v *VSwitch) processTraced(k Key, now int64, tb *telemetry.TraceBuilder) (ProcessResult, error) {
 	if v.rec != nil {
 		v.rec.ColdBegin()
@@ -363,6 +365,8 @@ func (v *VSwitch) processTraced(k Key, now int64, tb *telemetry.TraceBuilder) (P
 // processMiss punts a main-cache miss to the slowpath: full pipeline
 // traversal, partitioning, and rule installation. tb is nil unless the
 // packet is being traced.
+//
+//gf:hotpath-safe slowpath traversal and rule install; misses are µs-scale and allocate by design
 func (v *VSwitch) processMiss(k Key, now int64, tb *telemetry.TraceBuilder) (ProcessResult, error) {
 	if v.rec != nil {
 		v.rec.ColdBegin() // no-op when arriving via processTraced
@@ -441,6 +445,8 @@ func (v *VSwitch) processMiss(k Key, now int64, tb *telemetry.TraceBuilder) (Pro
 }
 
 // memoize records a processed flow in the Microflow tier, when enabled.
+//
+//gf:hotpath-safe Microflow insert allocates only on first sight of a flow; steady-state hits overwrite in place
 func (v *VSwitch) memoize(k, final Key, verdict Verdict, now int64) {
 	if v.uf != nil {
 		v.uf.Insert(k, final, verdict, now)
