@@ -74,10 +74,14 @@ bench:
 ##   - the fused-probe classifier must beat the map-backed baseline by at
 ##     least 1.4x on the cold high-mask-diversity slow-path sweep, at zero
 ##     allocations.
+##   - during a cold-flow storm, a warm flow's p99 blocking-submit latency
+##     with the async upcall offload must be at least 2x better than the
+##     same workload processed inline (head-of-line blocking floor).
 bench-gate:
 	GF_BENCH_GATE=1 $(GO) test -run TestBatchThroughputGate -count=1 -v ./service
 	GF_BENCH_GATE=1 $(GO) test -run TestLatencyOverheadGate -count=1 -v ./service
 	GF_BENCH_GATE=1 $(GO) test -run TestSlowpathProbeGate -count=1 -v ./internal/tss
+	GF_BENCH_GATE=1 $(GO) test -run TestUpcallHOLGate -count=1 -v ./service
 
 ## bench-json: regenerate the checked-in benchmark reports:
 ##   - BENCH_slowpath.json — wall-clock slow-path (cold caches, low
@@ -86,9 +90,12 @@ bench-gate:
 ##   - BENCH_latency.json — per-tier latency percentile ladders
 ##     (p50/p90/p99/p999) from the attribution layer under a warm steady
 ##     state and a cold-start storm, with flight-recorder counters.
+##   - BENCH_upcall.json — warm-flow latency ladder under a cold-flow
+##     storm, inline vs async upcall offload, with upcall counters.
 bench-json:
 	$(GO) run ./cmd/gigabench -exp slowpath -flows 20000 -json BENCH_slowpath.json
 	$(GO) run ./cmd/gigabench -exp latency -flows 20000 -json BENCH_latency.json
+	$(GO) run ./cmd/gigabench -exp upcall -json BENCH_upcall.json
 
 ## deprecated-check: no new callers of the deprecated TrySubmit /
 ## TrySubmitFrame aliases outside the service package (where they are

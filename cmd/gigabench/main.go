@@ -26,13 +26,14 @@ import (
 var experimentOrder = []string{
 	"tab1", "fig3", "fig4", "fig8", "fig9", "fig10", "fig11", "fig12",
 	"fig13", "fig14", "fig15", "tab2", "fig16", "fig17", "fig18",
-	"sec636", "fig19", "svcbatch", "slowpath", "latency",
+	"sec636", "fig19", "svcbatch", "slowpath", "latency", "upcall",
 }
 
-// jsonOut is the -json flag: when the slowpath or latency experiment
-// runs, it writes its machine-readable report (BENCH_slowpath.json /
-// BENCH_latency.json) to this path. Run those experiments individually
-// when using -json — under -exp all they would overwrite each other.
+// jsonOut is the -json flag: when the slowpath, latency, or upcall
+// experiment runs, it writes its machine-readable report
+// (BENCH_slowpath.json / BENCH_latency.json / BENCH_upcall.json) to
+// this path. Run those experiments individually when using -json —
+// under -exp all they would overwrite each other.
 var jsonOut string
 
 func main() {
@@ -223,6 +224,12 @@ func run(id string, p experiments.Params) error {
 		emit(t)
 	case "latency":
 		t, err := runLatency(p, jsonOut)
+		if err != nil {
+			return err
+		}
+		emit(t)
+	case "upcall":
+		t, err := runUpcall(p, jsonOut)
 		if err != nil {
 			return err
 		}

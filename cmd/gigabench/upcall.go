@@ -1,0 +1,210 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"gigaflow"
+	"gigaflow/internal/experiments"
+	"gigaflow/internal/stats"
+	"gigaflow/service"
+)
+
+// upcallRow is one mode's warm-flow probe ladder in BENCH_upcall.json.
+type upcallRow struct {
+	Mode   string  `json:"mode"` // "inline" | "async"
+	Count  int     `json:"count"`
+	MeanNs float64 `json:"mean_ns"`
+	P50    float64 `json:"p50_ns"`
+	P90    float64 `json:"p90_ns"`
+	P99    float64 `json:"p99_ns"`
+	P999   float64 `json:"p999_ns"`
+	MaxNs  int64   `json:"max_ns"`
+}
+
+// upcallReport is the BENCH_upcall.json document: the head-of-line
+// blocking experiment. A warm flow's blocking-submit latency is probed
+// while storms of never-before-seen flows are dumped on the same worker
+// — inline, every probe waits behind a full storm of slow-path
+// traversals; with the async offload, misses park and the probe cuts
+// the line. Upcall counters from the async run ride along so the
+// trajectory also tracks dedup/overflow behaviour.
+type upcallReport struct {
+	Rounds     int                 `json:"rounds"`
+	StormSize  int                 `json:"storm_size"`
+	Seed       int64               `json:"seed"`
+	SpeedupP99 float64             `json:"speedup_p99"`
+	Rows       []upcallRow         `json:"rows"`
+	Async      service.UpcallStats `json:"async_upcall_stats"`
+}
+
+// upcallPipeline gives every host its own exact /32 rule, so no two
+// storm flows share an installed cache entry and every new host is a
+// genuine slow-path miss — the workload that exposes head-of-line
+// blocking on the datapath goroutine.
+func upcallPipeline(hosts int) *gigaflow.Pipeline {
+	p := gigaflow.NewPipeline("upcall-hol")
+	p.AddTable(0, "l2", gigaflow.NewFieldSet(gigaflow.FieldEthDst))
+	p.AddTable(1, "l3", gigaflow.NewFieldSet(gigaflow.FieldIPDst))
+	p.AddTable(2, "l4", gigaflow.NewFieldSet(gigaflow.FieldTpDst))
+	p.MustAddRule(0, gigaflow.MustParseMatch("eth_dst=02:00:00:00:00:01"), 10, nil, 1)
+	for h := 0; h < hosts; h++ {
+		m := gigaflow.MustParseMatch(fmt.Sprintf("ip_dst=10.0.%d.%d/32", (h>>8)&0xff, h&0xff))
+		p.MustAddRule(1, m, 10, nil, 2)
+	}
+	p.MustAddRule(2, gigaflow.MustParseMatch("tp_dst=80"), 10,
+		[]gigaflow.Action{gigaflow.Output(1)}, gigaflow.NoTable)
+	return p
+}
+
+func upcallKey(host int) gigaflow.Key {
+	return gigaflow.MustParseKey("eth_dst=02:00:00:00:00:01,eth_type=0x0800").
+		With(gigaflow.FieldIPDst, 0x0a000000|uint64(host)).
+		With(gigaflow.FieldTpDst, 80)
+}
+
+// runUpcall measures warm-flow tail latency under a cold-flow storm with
+// and without the asynchronous upcall offload, and writes BENCH_upcall.json
+// when -json is given.
+func runUpcall(p experiments.Params, jsonPath string) (*stats.Table, error) {
+	const (
+		rounds    = 400
+		stormSize = 32
+	)
+	hosts := rounds*stormSize + 1
+	hot := upcallKey(hosts - 1)
+	ctx := context.Background()
+
+	probe := func(engineWorkers int) ([]float64, service.UpcallStats, error) {
+		cfg := service.Config{
+			Workers:           1,
+			Cache:             gigaflow.CacheConfig{NumTables: 3, TableCapacity: 3 * 8192},
+			MicroflowCapacity: 1024,
+			QueueDepth:        4096,
+		}
+		if engineWorkers > 0 {
+			cfg.UpcallWorkers = engineWorkers
+			cfg.UpcallQueue = 8192
+		}
+		svc, err := service.New(upcallPipeline(hosts), cfg)
+		if err != nil {
+			return nil, service.UpcallStats{}, err
+		}
+		if err := svc.Start(ctx); err != nil {
+			return nil, service.UpcallStats{}, err
+		}
+		defer svc.Close()
+		for i := 0; i < 4; i++ {
+			if r, err := svc.Submit(ctx, hot); err != nil || r.Err != nil {
+				return nil, service.UpcallStats{}, fmt.Errorf("warming: %v %v", err, r.Err)
+			}
+		}
+		storm := service.NewBatch(stormSize)
+		lats := make([]float64, 0, rounds)
+		host := 0
+		for r := 0; r < rounds; r++ {
+			storm.Reset()
+			for j := 0; j < stormSize; j++ {
+				storm.Add(upcallKey(host))
+				host++
+			}
+			if err := svc.SubmitBatch(ctx, storm, service.Nonblocking()); err != nil {
+				return nil, service.UpcallStats{}, err
+			}
+			start := time.Now()
+			res, err := svc.Submit(ctx, hot)
+			lat := float64(time.Since(start).Nanoseconds())
+			if err != nil || res.Err != nil {
+				return nil, service.UpcallStats{}, fmt.Errorf("probe: %v %v", err, res.Err)
+			}
+			lats = append(lats, lat)
+			// Let the engine finish this round's storm before launching the
+			// next (off the clock): the experiment measures head-of-line
+			// blocking per storm, not sustained overload — inline rounds
+			// are self-pacing because the blocking probe waits behind the
+			// whole storm anyway.
+			for engineWorkers > 0 {
+				us, err := svc.UpcallStats(ctx)
+				if err != nil {
+					return nil, service.UpcallStats{}, err
+				}
+				if us.ParkedPackets == 0 && us.QueueDepth == 0 {
+					break
+				}
+			}
+		}
+		us, err := svc.UpcallStats(ctx)
+		if err != nil {
+			return nil, service.UpcallStats{}, err
+		}
+		sort.Float64s(lats)
+		return lats, us, nil
+	}
+
+	row := func(mode string, lats []float64) upcallRow {
+		sum := 0.0
+		for _, l := range lats {
+			sum += l
+		}
+		q := func(f float64) float64 { return lats[int(f*float64(len(lats)-1))] }
+		return upcallRow{
+			Mode:   mode,
+			Count:  len(lats),
+			MeanNs: sum / float64(len(lats)),
+			P50:    q(0.50),
+			P90:    q(0.90),
+			P99:    q(0.99),
+			P999:   q(0.999),
+			MaxNs:  int64(lats[len(lats)-1]),
+		}
+	}
+
+	inLats, _, err := probe(0)
+	if err != nil {
+		return nil, err
+	}
+	asLats, asStats, err := probe(2)
+	if err != nil {
+		return nil, err
+	}
+	rIn, rAs := row("inline", inLats), row("async", asLats)
+	report := upcallReport{
+		Rounds:     rounds,
+		StormSize:  stormSize,
+		Seed:       p.Seed,
+		SpeedupP99: rIn.P99 / rAs.P99,
+		Rows:       []upcallRow{rIn, rAs},
+		Async:      asStats,
+	}
+
+	if jsonPath != "" {
+		buf, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return nil, err
+		}
+		if err := os.WriteFile(jsonPath, append(buf, '\n'), 0o644); err != nil {
+			return nil, err
+		}
+	}
+
+	t := &stats.Table{
+		Title: fmt.Sprintf("Warm-flow latency under cold storm (1 worker, %d rounds x %d cold flows)",
+			rounds, stormSize),
+		Headers: []string{"mode", "probes", "mean ns", "p50 ns", "p90 ns", "p99 ns", "p999 ns", "max ns"},
+	}
+	for _, r := range report.Rows {
+		t.AddRow(r.Mode, r.Count,
+			fmt.Sprintf("%.0f", r.MeanNs),
+			fmt.Sprintf("%.0f", r.P50),
+			fmt.Sprintf("%.0f", r.P90),
+			fmt.Sprintf("%.0f", r.P99),
+			fmt.Sprintf("%.0f", r.P999),
+			fmt.Sprintf("%d", r.MaxNs))
+	}
+	t.AddRow("p99 speedup", "", "", "", "", fmt.Sprintf("%.1fx", report.SpeedupP99), "", "")
+	return t, nil
+}

@@ -23,6 +23,7 @@ import (
 func main() {
 	addr := flag.String("addr", "127.0.0.1:9090", "telemetry listen address (use :0 for a free port)")
 	sample := flag.Int("trace-sample", 10, "trace 1 in N packets (0 disables)")
+	upcall := flag.Int("upcall-workers", 0, "async slow-path goroutines (0 processes misses inline)")
 	flag.Parse()
 
 	p := gigaflow.NewPipeline("demo")
@@ -42,6 +43,7 @@ func main() {
 		MicroflowCapacity: 256,
 		TelemetryAddr:     *addr,
 		TraceSample:       *sample,
+		UpcallWorkers:     *upcall,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)

@@ -156,6 +156,30 @@ func badBoundary() {} // want "//gf:hotpath-safe on badBoundary needs a reason"
 //gf:hotpath-safe because confused
 func bothDirectives() {} // want "cannot be a certification root and a cold boundary"
 
+// --- enqueue boundary: upcall-style park two calls deep -------------
+
+// parkEnqueue hands a miss to the slow-path offload queue. The channel
+// send is the datapath's last touch of the packet; certification stops
+// at the declared boundary even though the send sits two calls below
+// the root.
+//
+//gf:hotpath-safe nonblocking upcall enqueue is the offload handoff point
+func parkEnqueue(c chan int, v int) bool {
+	select {
+	case c <- v: // no finding: behind the boundary
+		return true
+	default:
+		return false
+	}
+}
+
+func parkDepth1(c chan int, v int) bool { return parkEnqueue(c, v) }
+
+//gf:hotpath
+func RootPark(c chan int, v int) bool {
+	return parkDepth1(c, v)
+}
+
 // --- suppression with reason ----------------------------------------
 
 //gf:hotpath

@@ -15,6 +15,7 @@ const (
 	FlightEvict                        // the install evicted a resident entry
 	FlightTraced                       // packet was diverted to the sampling tracer
 	FlightEstimated                    // latency is a run estimate, not an exact stamp
+	FlightDeferred                     // miss resolved asynchronously by the upcall engine
 )
 
 // FlightRecord is one packet's entry in the flight-recorder ring: 32
@@ -25,8 +26,12 @@ type FlightRecord struct {
 	KeyHash uint64 `json:"key_hash"` // flow id: microflow probe hash on warm hits, FlowHash elsewhere
 	LatNs   int32  `json:"lat_ns"`   // per-packet latency, clamped at ~2.1s
 	Batch   uint32 `json:"batch"`    // worker-local batch sequence number
-	Tier    Tier   `json:"tier"`
-	Flags   uint8  `json:"flags"`
+	// ParkNs is the queue-wait a FlightDeferred miss spent parked between
+	// upcall enqueue and engine dequeue, separated from the traversal time
+	// in LatNs; zero on every other record.
+	ParkNs int32 `json:"park_ns,omitempty"`
+	Tier   Tier  `json:"tier"`
+	Flags  uint8 `json:"flags"`
 }
 
 // runInfo is one closed hit run in the side ring: records with sequence
@@ -271,6 +276,7 @@ func (r *LatencyRecorder) Cold(tier Tier, keyHash uint64, flags uint8) {
 	s.KeyHash = keyHash
 	s.LatNs = clampLat(lat)
 	s.Batch = r.batch
+	s.ParkNs = 0 // ring slots are reused; a prior Deferred occupant left one
 	s.Tier = tier
 	s.Flags = flags
 	r.seq++
@@ -282,6 +288,44 @@ func (r *LatencyRecorder) Cold(tier Tier, keyHash uint64, flags uint8) {
 	r.hist[tier].Observe(lat)
 	if r.spikeNs > 0 && lat >= r.spikeNs {
 		r.capture(lat)
+	}
+}
+
+// Deferred records a miss resolved asynchronously by the upcall engine:
+// latNs is the traversal span measured on the engine goroutine, parkNs
+// the queue wait between upcall enqueue and engine dequeue — the two
+// components /debug/flight separates so a deferred completion's tail is
+// attributable to the slow path or to queueing, never conflated. The
+// record is stamped exactly at the completion's delivery time (it closes
+// any open hit run first, like every cold event), carries
+// FlightDeferred on top of the caller's flags, and feeds latNs — the
+// traversal alone — into the tier histogram so slow-path ladders stay
+// comparable between inline and asynchronous modes.
+func (r *LatencyRecorder) Deferred(tier Tier, keyHash uint64, flags uint8, latNs, parkNs int64) {
+	d := int64(time.Since(r.base))
+	if r.pendingHits() != 0 {
+		r.closeRun(d)
+	}
+	if latNs < 0 {
+		latNs = 0
+	}
+	if parkNs < 0 {
+		parkNs = 0
+	}
+	s := &r.ring[r.seq&r.mask]
+	s.TS = r.anchor + (d - r.anchorOff)
+	s.KeyHash = keyHash
+	s.LatNs = clampLat(latNs)
+	s.Batch = r.batch
+	s.ParkNs = clampLat(parkNs)
+	s.Tier = tier
+	s.Flags = flags | FlightDeferred
+	r.seq++
+	r.inCold = false
+	r.runStart = d
+	r.hist[tier].Observe(latNs)
+	if r.spikeNs > 0 && latNs >= r.spikeNs {
+		r.capture(latNs)
 	}
 }
 
@@ -314,12 +358,14 @@ func (r *LatencyRecorder) resolve(rec *FlightRecord, seq uint64) {
 		rec.TS = r.anchor
 		rec.LatNs = 0
 		rec.Batch = r.batch
+		rec.ParkNs = 0
 		return
 	}
 	run := &r.runs[lo&r.mask]
 	rec.TS = run.ts
 	rec.LatNs = run.perNs
 	rec.Batch = run.batch
+	rec.ParkNs = 0 // hits never park; scrub whatever the reused slot held
 }
 
 // capture copies the ring window ending at the spiking record. Rare by

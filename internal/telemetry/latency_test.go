@@ -197,6 +197,68 @@ func TestFlightRecorderCold(t *testing.T) {
 	}
 }
 
+// TestFlightRecorderDeferred: upcall completions carry FlightDeferred,
+// keep the queue wait (ParkNs) separate from the traversal time (LatNs),
+// close the preceding hit run, and feed only the traversal time into the
+// tier histogram.
+func TestFlightRecorderDeferred(t *testing.T) {
+	r := NewLatencyRecorder(64, 0)
+	r.BeginBatch(9000)
+	r.Hit(TierMicroflow, 1)
+	r.Deferred(TierSlowpath, 77, FlightMiss|FlightInstall, 2500, 40000)
+	r.EndBatch() // no trailing hits: must be a no-op
+	recs := r.Recent(0)
+	if len(recs) != 2 {
+		t.Fatalf("got %d records, want 2", len(recs))
+	}
+	def := recs[0] // newest first
+	if def.Tier != TierSlowpath || def.KeyHash != 77 {
+		t.Fatalf("deferred record = %+v", def)
+	}
+	if def.Flags != FlightMiss|FlightInstall|FlightDeferred {
+		t.Errorf("flags = %#x, want miss|install|deferred", def.Flags)
+	}
+	if def.LatNs != 2500 || def.ParkNs != 40000 {
+		t.Errorf("LatNs=%d ParkNs=%d, want 2500/40000", def.LatNs, def.ParkNs)
+	}
+	if got := r.Histogram(TierSlowpath).Count(); got != 1 {
+		t.Errorf("slowpath count = %d, want 1", got)
+	}
+	if got := r.Histogram(TierMicroflow).Count(); got != 1 {
+		t.Errorf("microflow count = %d, want 1 (run closed by Deferred)", got)
+	}
+	if max := r.Histogram(TierSlowpath).Snapshot().MaxNs; max < 2048 || max > 4096 {
+		t.Errorf("slowpath max = %d, want the 2500ns traversal alone (park excluded)", max)
+	}
+	// Negative spans (clock skew between engine stamps) clamp to zero.
+	r.Deferred(TierSlowpath, 78, FlightMiss, -5, -7)
+	if got := r.Recent(1)[0]; got.LatNs != 0 || got.ParkNs != 0 {
+		t.Errorf("negative spans not clamped: %+v", got)
+	}
+}
+
+// TestFlightRecorderParkScrub: ring slots are reused, so records written
+// over an old Deferred occupant must not inherit its ParkNs — neither
+// exactly-stamped cold events nor run-resolved hits.
+func TestFlightRecorderParkScrub(t *testing.T) {
+	r := NewLatencyRecorder(2, 0) // two slots: everything wraps fast
+	r.BeginBatch(1000)
+	r.Deferred(TierSlowpath, 1, FlightMiss, 100, 9999)
+	r.Deferred(TierSlowpath, 2, FlightMiss, 100, 9999)
+	// Slot 0 is reused by a cold event.
+	r.ColdBegin()
+	r.Cold(TierSlowpath, 3, FlightMiss)
+	if got := r.Recent(1)[0]; got.ParkNs != 0 {
+		t.Errorf("cold record inherited ParkNs=%d from the reused slot", got.ParkNs)
+	}
+	// Slot 1 is reused by a hit; its dump-time resolution must scrub too.
+	r.Hit(TierMicroflow, 4)
+	r.EndBatch()
+	if got := r.Recent(1)[0]; got.ParkNs != 0 || got.Flags&FlightEstimated == 0 {
+		t.Errorf("resolved hit inherited ParkNs: %+v", got)
+	}
+}
+
 // TestFlightRecorderSpike: a latency past the threshold snapshots the
 // ring window around the spike.
 func TestFlightRecorderSpike(t *testing.T) {

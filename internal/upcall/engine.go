@@ -1,0 +1,141 @@
+package upcall
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Queue is the bounded miss queue between the datapath shards and the
+// engine: many shard producers, Workers engine consumers. Enqueue never
+// blocks — a full queue is the datapath's signal to apply its overflow
+// policy (process the miss inline, or drop the packet) rather than stall
+// behind the slow path, which is the head-of-line blocking this package
+// exists to remove.
+type Queue[P any] struct {
+	ch        chan *Miss[P]
+	enqueued  atomic.Uint64
+	overflows atomic.Uint64
+}
+
+// NewQueue builds a miss queue holding up to depth pending upcalls.
+func NewQueue[P any](depth int) *Queue[P] {
+	if depth < 1 {
+		depth = 1
+	}
+	return &Queue[P]{ch: make(chan *Miss[P], depth)}
+}
+
+// TryEnqueue offers m to the engine without blocking. False means the
+// queue was full; the miss was not seen by the engine and the caller
+// must undo the park and apply its overflow policy.
+func (q *Queue[P]) TryEnqueue(m *Miss[P]) bool {
+	select {
+	case q.ch <- m:
+		q.enqueued.Add(1)
+		return true
+	default:
+		q.overflows.Add(1)
+		return false
+	}
+}
+
+// Depth reports the number of misses currently queued.
+func (q *Queue[P]) Depth() int { return len(q.ch) }
+
+// Cap reports the queue bound.
+func (q *Queue[P]) Cap() int { return cap(q.ch) }
+
+// Enqueued reports the number of misses ever accepted.
+func (q *Queue[P]) Enqueued() uint64 { return q.enqueued.Load() }
+
+// Overflows reports the number of enqueue attempts refused on a full
+// queue.
+func (q *Queue[P]) Overflows() uint64 { return q.overflows.Load() }
+
+// Handler resolves one dequeued batch of misses: in the service it runs
+// the pipeline traversal for each, then hands every miss back to its
+// shard. It runs on an engine goroutine and must honor ctx so shutdown
+// can never hang on a stalled hand-off.
+type Handler[P any] func(ctx context.Context, batch []*Miss[P])
+
+// Engine owns the dedicated slow-path goroutines. Each drains the miss
+// queue, gathers opportunistic batches of up to Batch misses (so one
+// wakeup amortizes across a burst, and the handler can batch rule
+// installs), stamps their dequeue time, and runs the handler. Goroutines
+// exit when ctx is cancelled; Wait blocks until all have.
+type Engine[P any] struct {
+	q       *Queue[P]
+	workers int
+	batch   int
+	handler Handler[P]
+
+	wg      sync.WaitGroup
+	drained atomic.Uint64 // misses handed to the handler
+	batches atomic.Uint64 // handler invocations
+}
+
+// NewEngine builds an engine of workers goroutines draining q in batches
+// of up to batch misses. Workers and batch are clamped to at least 1.
+func NewEngine[P any](q *Queue[P], workers, batch int, h Handler[P]) *Engine[P] {
+	if workers < 1 {
+		workers = 1
+	}
+	if batch < 1 {
+		batch = 1
+	}
+	return &Engine[P]{q: q, workers: workers, batch: batch, handler: h}
+}
+
+// Start launches the drain goroutines. Call once.
+func (e *Engine[P]) Start(ctx context.Context) {
+	for i := 0; i < e.workers; i++ {
+		e.wg.Add(1)
+		go e.drain(ctx)
+	}
+}
+
+// Wait blocks until every drain goroutine has exited (after the ctx
+// passed to Start is cancelled).
+func (e *Engine[P]) Wait() { e.wg.Wait() }
+
+// Drained reports the number of misses handed to the handler.
+func (e *Engine[P]) Drained() uint64 { return e.drained.Load() }
+
+// Batches reports the number of handler invocations.
+func (e *Engine[P]) Batches() uint64 { return e.batches.Load() }
+
+// drain is the engine goroutine body: block for one miss, opportunistically
+// gather the rest of the burst up to the batch bound, stamp and hand off.
+// Misses still queued when ctx is cancelled are abandoned — by then the
+// shards are draining their pending tables and failing the parked packets
+// themselves, so completing the work would deliver into dead structures.
+func (e *Engine[P]) drain(ctx context.Context) {
+	defer e.wg.Done()
+	buf := make([]*Miss[P], 0, e.batch)
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case m := <-e.q.ch:
+			buf = append(buf[:0], m)
+		gather:
+			for len(buf) < e.batch {
+				select {
+				case more := <-e.q.ch:
+					buf = append(buf, more)
+				default:
+					break gather
+				}
+			}
+			now := time.Now().UnixNano()
+			for _, qm := range buf {
+				qm.DequeuedNs = now
+			}
+			e.drained.Add(uint64(len(buf)))
+			e.batches.Add(1)
+			e.handler(ctx, buf)
+		}
+	}
+}

@@ -1,0 +1,142 @@
+// Package upcall is the asynchronous slow-path offload engine: the
+// datapath split an off-path SmartNIC performs between its forwarding
+// cores and its accelerator complex. On a main-cache miss the datapath
+// does not run the µs-scale pipeline traversal inline — it *parks* the
+// packet, records the miss in a per-shard pending-flow table (one entry
+// per flow, so concurrent misses of the same flow collapse into one
+// upcall), and enqueues the flow's first miss on a bounded MPMC miss
+// queue. Dedicated slow-path goroutines (the Engine) drain the queue in
+// batches, resolve each miss through a caller-supplied handler (pipeline
+// traversal + rule install, in the service's case), and hand the
+// completed misses back to the shard that parked them, which releases
+// every parked packet of the flow in arrival order.
+//
+// The package is deliberately mechanism-only and generic over the parked
+// payload type P: it knows nothing about VSwitches, batch jobs, or
+// result channels. The ownership discipline mirrors the service's
+// shared-nothing worker design:
+//
+//   - A Table belongs to one shard goroutine. Park, Remove, Drain, and
+//     the stat readers must all run there.
+//   - A Miss's Key, Shard, and EnqueuedNs are immutable after Park; its
+//     Payloads slice is owned by the shard goroutine at all times (the
+//     engine never reads it, so the shard may keep appending followers
+//     while the traversal is in flight); DequeuedNs, TraverseNs,
+//     Traversal, and Err are written by the engine before the miss is
+//     handed back, with the hand-off channel providing the
+//     happens-before edge.
+//   - The Queue is the only structure shared by more than one writer;
+//     it is a bounded channel plus atomic counters.
+package upcall
+
+import (
+	"gigaflow/internal/flow"
+	"gigaflow/internal/pipeline"
+)
+
+// Miss is one flow's pending upcall: the flow key, the shard (worker)
+// that parked it, every packet of the flow parked while the upcall was
+// pending, and — once the engine has resolved it — the traversal result.
+type Miss[P any] struct {
+	// Key is the missed flow signature. All payloads share it.
+	Key flow.Key
+	// Shard is the index of the shard (worker) that parked the miss;
+	// completions route back to it.
+	Shard int
+	// EnqueuedNs is the shard's wall-clock stamp when the miss was
+	// parked; with DequeuedNs it bounds the queue-wait (parked) time.
+	EnqueuedNs int64
+	// DequeuedNs is stamped by the engine when it picks the miss up.
+	DequeuedNs int64
+	// TraverseNs is the wall-clock cost of the slow-path resolution,
+	// measured by the handler.
+	TraverseNs int64
+	// Payloads are the parked packets of this flow in arrival order:
+	// Payloads[0] is the miss that created the upcall, the rest are
+	// followers deduplicated against it. Owned by the shard goroutine.
+	Payloads []P
+	// Traversal is the slow-path result, written by the handler.
+	Traversal *pipeline.Traversal
+	// Err is the slow-path failure, written by the handler.
+	Err error
+}
+
+// TableStats counts a pending-flow table's lifetime activity. All
+// numbers are owned by the table's shard goroutine.
+type TableStats struct {
+	// Upcalls is the number of pending entries ever created (one per
+	// flow-level miss, including entries later undone by queue overflow).
+	Upcalls uint64
+	// Deduped is the number of follower packets that rode an existing
+	// pending entry instead of triggering their own traversal.
+	Deduped uint64
+	// Released is the number of parked packets handed back out of the
+	// table by Remove and Drain.
+	Released uint64
+}
+
+// Table is one shard's pending-flow table: at most one Miss per flow,
+// with every subsequent packet of that flow appended as a follower. Not
+// safe for concurrent use — it belongs to the shard goroutine.
+type Table[P any] struct {
+	pending map[flow.Key]*Miss[P]
+	parked  int // payloads currently parked across all entries
+	stats   TableStats
+}
+
+// NewTable builds an empty pending-flow table.
+func NewTable[P any]() *Table[P] {
+	return &Table[P]{pending: make(map[flow.Key]*Miss[P])}
+}
+
+// Park records payload p against flow k's pending upcall, creating the
+// entry if this is the flow's first outstanding miss. It returns the
+// entry and whether it was created — a created entry must be enqueued by
+// the caller (and removed again, via Remove, if the queue refuses it).
+func (t *Table[P]) Park(k flow.Key, shard int, now int64, p P) (m *Miss[P], created bool) {
+	t.parked++
+	if m = t.pending[k]; m != nil {
+		m.Payloads = append(m.Payloads, p)
+		t.stats.Deduped++
+		return m, false
+	}
+	m = &Miss[P]{Key: k, Shard: shard, EnqueuedNs: now, Payloads: make([]P, 1, 4)}
+	m.Payloads[0] = p
+	t.pending[k] = m
+	t.stats.Upcalls++
+	return m, true
+}
+
+// Remove takes flow k's pending entry out of the table (nil if absent),
+// transferring ownership of its payloads to the caller.
+func (t *Table[P]) Remove(k flow.Key) *Miss[P] {
+	m := t.pending[k]
+	if m == nil {
+		return nil
+	}
+	delete(t.pending, k)
+	t.parked -= len(m.Payloads)
+	t.stats.Released += uint64(len(m.Payloads))
+	return m
+}
+
+// Drain empties the table, invoking fn for every pending entry — the
+// shutdown path, where the shard fails each parked packet instead of
+// waiting for completions that may never come.
+func (t *Table[P]) Drain(fn func(*Miss[P])) {
+	for k, m := range t.pending {
+		delete(t.pending, k)
+		t.parked -= len(m.Payloads)
+		t.stats.Released += uint64(len(m.Payloads))
+		fn(m)
+	}
+}
+
+// Len reports the number of pending flows.
+func (t *Table[P]) Len() int { return len(t.pending) }
+
+// Parked reports the number of packets currently parked.
+func (t *Table[P]) Parked() int { return t.parked }
+
+// Stats returns the table's lifetime counters.
+func (t *Table[P]) Stats() TableStats { return t.stats }

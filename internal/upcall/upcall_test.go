@@ -1,0 +1,205 @@
+package upcall
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"gigaflow/internal/flow"
+)
+
+func testKey(n uint64) flow.Key {
+	var k flow.Key
+	k.Set(flow.FieldIPSrc, n)
+	k.Set(flow.FieldTpDst, 80)
+	return k
+}
+
+func TestTableParkDedup(t *testing.T) {
+	tb := NewTable[int]()
+	kA, kB := testKey(1), testKey(2)
+
+	m, created := tb.Park(kA, 3, 100, 10)
+	if !created {
+		t.Fatalf("first park of A: created=false")
+	}
+	if m.Key != kA || m.Shard != 3 || m.EnqueuedNs != 100 {
+		t.Fatalf("miss fields: %+v", m)
+	}
+	if m2, created := tb.Park(kA, 3, 200, 11); created || m2 != m {
+		t.Fatalf("follower park: created=%v same=%v", created, m2 == m)
+	}
+	if _, created := tb.Park(kB, 3, 300, 20); !created {
+		t.Fatalf("park of B: created=false")
+	}
+	if tb.Len() != 2 || tb.Parked() != 3 {
+		t.Fatalf("Len=%d Parked=%d, want 2/3", tb.Len(), tb.Parked())
+	}
+
+	got := tb.Remove(kA)
+	if got != m {
+		t.Fatalf("Remove returned wrong entry")
+	}
+	if len(got.Payloads) != 2 || got.Payloads[0] != 10 || got.Payloads[1] != 11 {
+		t.Fatalf("payloads out of order: %v", got.Payloads)
+	}
+	if tb.Remove(kA) != nil {
+		t.Fatalf("second Remove should be nil")
+	}
+	if tb.Len() != 1 || tb.Parked() != 1 {
+		t.Fatalf("after remove: Len=%d Parked=%d, want 1/1", tb.Len(), tb.Parked())
+	}
+
+	st := tb.Stats()
+	if st.Upcalls != 2 || st.Deduped != 1 || st.Released != 2 {
+		t.Fatalf("stats %+v, want Upcalls=2 Deduped=1 Released=2", st)
+	}
+}
+
+func TestTableDrain(t *testing.T) {
+	tb := NewTable[string]()
+	for i := uint64(0); i < 5; i++ {
+		tb.Park(testKey(i), 0, 0, "p")
+		tb.Park(testKey(i), 0, 0, "q")
+	}
+	drained := 0
+	payloads := 0
+	tb.Drain(func(m *Miss[string]) {
+		drained++
+		payloads += len(m.Payloads)
+	})
+	if drained != 5 || payloads != 10 {
+		t.Fatalf("drained %d entries / %d payloads, want 5/10", drained, payloads)
+	}
+	if tb.Len() != 0 || tb.Parked() != 0 {
+		t.Fatalf("table not empty after drain: Len=%d Parked=%d", tb.Len(), tb.Parked())
+	}
+	if st := tb.Stats(); st.Released != 10 {
+		t.Fatalf("Released=%d, want 10", st.Released)
+	}
+}
+
+func TestQueueOverflow(t *testing.T) {
+	q := NewQueue[int](2)
+	if q.Cap() != 2 {
+		t.Fatalf("Cap=%d, want 2", q.Cap())
+	}
+	a, b, c := &Miss[int]{}, &Miss[int]{}, &Miss[int]{}
+	if !q.TryEnqueue(a) || !q.TryEnqueue(b) {
+		t.Fatalf("enqueue into empty queue refused")
+	}
+	if q.TryEnqueue(c) {
+		t.Fatalf("enqueue into full queue accepted")
+	}
+	if q.Depth() != 2 || q.Enqueued() != 2 || q.Overflows() != 1 {
+		t.Fatalf("Depth=%d Enqueued=%d Overflows=%d, want 2/2/1",
+			q.Depth(), q.Enqueued(), q.Overflows())
+	}
+}
+
+// TestEngineDrains spins the engine with concurrent producers and checks
+// every miss reaches the handler exactly once, stamped, and that Wait
+// returns promptly after cancellation.
+func TestEngineDrains(t *testing.T) {
+	const producers, perProducer = 4, 50
+	q := NewQueue[int](producers * perProducer)
+
+	var mu sync.Mutex
+	seen := make(map[*Miss[int]]int)
+	maxBatch := 0
+	h := func(ctx context.Context, batch []*Miss[int]) {
+		mu.Lock()
+		if len(batch) > maxBatch {
+			maxBatch = len(batch)
+		}
+		for _, m := range batch {
+			seen[m]++
+			if m.DequeuedNs == 0 {
+				t.Error("miss handed off without a dequeue stamp")
+			}
+		}
+		mu.Unlock()
+	}
+	e := NewEngine(q, 2, 8, h)
+	ctx, cancel := context.WithCancel(context.Background())
+	e.Start(ctx)
+
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				m := &Miss[int]{Key: testKey(uint64(p*1000 + i)), EnqueuedNs: 1}
+				for !q.TryEnqueue(m) {
+					time.Sleep(time.Microsecond)
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if e.Drained() == producers*perProducer {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("engine drained %d/%d misses", e.Drained(), producers*perProducer)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	e.Wait()
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(seen) != producers*perProducer {
+		t.Fatalf("handler saw %d distinct misses, want %d", len(seen), producers*perProducer)
+	}
+	for m, n := range seen {
+		if n != 1 {
+			t.Fatalf("miss %v handled %d times", m.Key, n)
+		}
+	}
+	if maxBatch > 8 {
+		t.Fatalf("batch of %d exceeded the bound of 8", maxBatch)
+	}
+	if e.Batches() == 0 || e.Batches() > e.Drained() {
+		t.Fatalf("Batches=%d Drained=%d out of range", e.Batches(), e.Drained())
+	}
+}
+
+// TestEngineCancelAbandonsQueue: misses still queued at cancellation are
+// never handled, and Wait does not hang.
+func TestEngineCancelAbandonsQueue(t *testing.T) {
+	q := NewQueue[int](8)
+	handled := make(chan struct{}, 8)
+	e := NewEngine(q, 1, 4, func(ctx context.Context, batch []*Miss[int]) {
+		for range batch {
+			handled <- struct{}{}
+		}
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // cancelled before Start: the goroutine may exit immediately
+	e.Start(ctx)
+	q.TryEnqueue(&Miss[int]{})
+	done := make(chan struct{})
+	go func() { e.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Wait hung after cancellation")
+	}
+}
+
+func TestEngineClamps(t *testing.T) {
+	e := NewEngine(NewQueue[int](0), 0, 0, func(context.Context, []*Miss[int]) {})
+	if e.workers != 1 || e.batch != 1 {
+		t.Fatalf("workers=%d batch=%d, want 1/1", e.workers, e.batch)
+	}
+	if NewQueue[int](-3).Cap() != 1 {
+		t.Fatalf("negative depth not clamped to 1")
+	}
+}

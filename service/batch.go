@@ -45,6 +45,13 @@ type batchJob struct {
 	done     chan *batchJob // completion signal (nil for fire-and-forget)
 	resp     chan<- Result  // optional per-result fan-out
 	gathered bool           // completion collected by the submitter
+
+	// pending refcounts outstanding work in async offload mode: 1 for the
+	// batch scan plus 1 per parked packet, each released on delivery, so
+	// done fires exactly once — when the last parked packet resolves (or
+	// at scan end if nothing parked). Worker-goroutine-only; unused (0)
+	// in synchronous mode.
+	pending int
 }
 
 // Batch is a reusable collection of Requests submitted as one unit.
@@ -102,6 +109,7 @@ func (b *Batch) ensureJobs(nw int) {
 		j.done = nil
 		j.resp = nil
 		j.gathered = false
+		j.pending = 0
 	}
 	if b.done == nil || cap(b.done) < nw {
 		b.done = make(chan *batchJob, nw)

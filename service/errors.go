@@ -30,6 +30,13 @@ var (
 	// gigaflow_queue_drops_total metric.
 	ErrQueueFull = errors.New("service: worker queue full")
 
+	// ErrUpcallOverflow reports a main-cache miss dropped because the
+	// asynchronous upcall queue was full and the service runs the
+	// OverflowDrop policy — the upcall-ring drop of a real datapath.
+	// Only cold flows are affected; cache hits never touch the queue.
+	// Each drop is counted in gigaflow_upcall_overflow_drops_total.
+	ErrUpcallOverflow = errors.New("service: upcall queue full")
+
 	// ErrBadFrame reports a frame the decoder refused outright (today:
 	// shorter than an Ethernet header). Concrete failures are *FrameError
 	// values wrapping this sentinel, so errors.Is(err, ErrBadFrame)

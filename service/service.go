@@ -25,6 +25,7 @@ import (
 
 	"gigaflow"
 	"gigaflow/internal/telemetry"
+	"gigaflow/internal/upcall"
 )
 
 // Backend selects the main-cache architecture the workers run.
@@ -70,6 +71,27 @@ type Config struct {
 	MaxIdle time.Duration
 	// QueueDepth is each worker's input queue length (default 1024).
 	QueueDepth int
+
+	// UpcallWorkers enables the asynchronous slow-path offload with this
+	// many engine goroutines (0, the default, keeps misses inline). With
+	// the offload on, a main-cache miss parks the packet and enqueues an
+	// upcall instead of blocking the worker on the pipeline traversal;
+	// concurrent misses of the same flow coalesce onto one traversal,
+	// and parked packets are released in arrival order per flow, so
+	// results and stats are indistinguishable from inline processing.
+	UpcallWorkers int
+	// UpcallQueue bounds the shared miss queue (default 1024). A fresh
+	// miss that finds it full is handled per UpcallOverflow; packets of
+	// already-pending flows never touch the queue.
+	UpcallQueue int
+	// UpcallBatch bounds how many queued misses an engine goroutine
+	// drains per wakeup, batching traversals and rule installs (default
+	// DefaultBatchSize).
+	UpcallBatch int
+	// UpcallOverflow selects the full-queue policy: OverflowInline
+	// (default) traverses on the worker, OverflowDrop fails the packet
+	// with ErrUpcallOverflow.
+	UpcallOverflow OverflowPolicy
 
 	// TelemetryAddr, when non-empty, serves the introspection endpoints
 	// (/metrics, /traces, /cache, /debug/pprof, /debug/vars) on this
@@ -130,6 +152,24 @@ func (c Config) validate() error {
 	if c.NoLatency && (c.FlightRecords != 0 || c.LatencySpike != 0) {
 		return errors.New("service: FlightRecords/LatencySpike set but NoLatency disables attribution")
 	}
+	if c.UpcallWorkers < 0 {
+		return fmt.Errorf("service: negative UpcallWorkers (%d)", c.UpcallWorkers)
+	}
+	if c.UpcallQueue < 0 {
+		return fmt.Errorf("service: negative UpcallQueue (%d)", c.UpcallQueue)
+	}
+	if c.UpcallBatch < 0 {
+		return fmt.Errorf("service: negative UpcallBatch (%d)", c.UpcallBatch)
+	}
+	switch c.UpcallOverflow {
+	case OverflowInline, OverflowDrop:
+	default:
+		return fmt.Errorf("service: unknown UpcallOverflow (%d)", c.UpcallOverflow)
+	}
+	if c.UpcallWorkers == 0 &&
+		(c.UpcallQueue != 0 || c.UpcallBatch != 0 || c.UpcallOverflow != OverflowInline) {
+		return errors.New("service: upcall knobs set but UpcallWorkers is 0 (offload disabled)")
+	}
 	switch c.Backend {
 	case BackendGigaflow:
 		if c.MegaflowCapacity != 0 {
@@ -178,6 +218,14 @@ func (c Config) withDefaults() Config {
 	if c.TraceBuffer <= 0 {
 		c.TraceBuffer = 256
 	}
+	if c.UpcallWorkers > 0 {
+		if c.UpcallQueue <= 0 {
+			c.UpcallQueue = 1024
+		}
+		if c.UpcallBatch <= 0 {
+			c.UpcallBatch = DefaultBatchSize
+		}
+	}
 	return c
 }
 
@@ -190,14 +238,16 @@ type Result struct {
 }
 
 // packet is one queued unit of work: a flow key to forward, a batch job
-// (many keys crossing the channel as one message), or a control function
+// (many keys crossing the channel as one message), a control function
 // (rule update / revalidation / expiry) executed inline on the worker
-// goroutine so its pipeline and cache are never touched concurrently.
+// goroutine so its pipeline and cache are never touched concurrently, or
+// a group of engine-completed upcalls to apply (async offload mode).
 type packet struct {
 	key     gigaflow.Key
 	resp    chan<- Result
 	job     *batchJob
 	control func()
+	comp    []*upcall.Miss[parked]
 }
 
 // worker owns one pipeline replica and one cache shard.
@@ -209,11 +259,29 @@ type worker struct {
 
 	// Scratch for ProcessBatch output, grown to the largest job seen so
 	// the steady-state batch path allocates nothing.
-	procOut []gigaflow.ProcessResult
-	procErr []error
+	procOut  []gigaflow.ProcessResult
+	procErr  []error
+	procPark []bool
 
 	drops atomic.Uint64 // nonblocking rejections due to a full queue
 	skips atomic.Uint64 // expiry sweeps skipped due to a full queue
+
+	// Asynchronous offload state (Config.UpcallWorkers > 0). pending and
+	// the counters below belong to the worker goroutine; slowMu is the
+	// one lock shared with the engine, taken only around pipeline
+	// traversals and rule mutations — never on the cache-hit path.
+	async    bool
+	idx      int // worker index = upcall.Miss.Shard
+	overflow OverflowPolicy
+	slowMu   sync.Mutex
+	pending  *upcall.Table[parked]
+	upq      *upcall.Queue[parked]
+
+	ovInline  uint64 // full-queue misses traversed inline
+	ovDrop    uint64 // full-queue misses dropped (OverflowDrop)
+	stale     uint64 // engine traversals discarded
+	completed uint64 // flow completions applied
+	released  uint64 // parked packets answered
 }
 
 // Lifecycle states, tracked in Service.state so the submission hot path
@@ -228,6 +296,11 @@ const (
 type Service struct {
 	cfg     Config
 	workers []*worker
+
+	// Asynchronous offload (Config.UpcallWorkers > 0): the shared miss
+	// queue and the engine draining it. Nil when running synchronously.
+	upq *upcall.Queue[parked]
+	eng *upcall.Engine[parked]
 
 	reg     *telemetry.Registry
 	tracer  *telemetry.Tracer
@@ -295,12 +368,30 @@ func New(p *gigaflow.Pipeline, cfg Config) (*Service, error) {
 			rec = telemetry.NewLatencyRecorder(cfg.FlightRecords, cfg.LatencySpike)
 			opts = append(opts, gigaflow.WithLatencyRecorder(rec))
 		}
-		s.workers = append(s.workers, &worker{
-			vs:    gigaflow.NewVSwitch(replica, perWorker, opts...),
+		w := &worker{
 			rec:   rec,
 			in:    make(chan packet, cfg.QueueDepth),
 			label: fmt.Sprintf("%d", i),
-		})
+		}
+		if cfg.UpcallWorkers > 0 {
+			w.async = true
+			w.idx = i
+			w.overflow = cfg.UpcallOverflow
+			w.pending = upcall.NewTable[parked]()
+			// The engine traverses this worker's pipeline replica from its
+			// own goroutine; the worker's inline traversals (overflow
+			// fallback, follower replays, rule updates) take the same lock.
+			opts = append(opts, gigaflow.WithSlowpathLock(&w.slowMu))
+		}
+		w.vs = gigaflow.NewVSwitch(replica, perWorker, opts...)
+		s.workers = append(s.workers, w)
+	}
+	if cfg.UpcallWorkers > 0 {
+		s.upq = upcall.NewQueue[parked](cfg.UpcallQueue)
+		s.eng = upcall.NewEngine(s.upq, cfg.UpcallWorkers, cfg.UpcallBatch, s.handleUpcalls)
+		for _, w := range s.workers {
+			w.upq = s.upq
+		}
 	}
 	return s, nil
 }
@@ -320,6 +411,9 @@ func (s *Service) Start(ctx context.Context) error {
 	s.state.Store(stateRunning)
 	s.started.Store(time.Now().UnixNano())
 	ctx, s.cancel = context.WithCancel(ctx)
+	if s.eng != nil {
+		s.eng.Start(ctx)
+	}
 	for _, w := range s.workers {
 		s.done.Add(1)
 		go s.runWorker(ctx, w)
@@ -366,10 +460,33 @@ func (w *worker) run(pkt packet) {
 	switch {
 	case pkt.control != nil:
 		pkt.control()
+	case pkt.comp != nil:
+		now := time.Now().UnixNano()
+		for _, m := range pkt.comp {
+			w.complete(m, now)
+		}
 	case pkt.job != nil:
 		w.runJob(pkt.job, time.Now().UnixNano())
 	default:
-		res, err := w.vs.Process(pkt.key, time.Now().UnixNano())
+		now := time.Now().UnixNano()
+		if w.async {
+			res, wasParked, err := w.vs.ProcessPark(pkt.key, now)
+			if wasParked {
+				if w.parkOne(pkt.key, parked{idx: -1, resp: pkt.resp}, now) {
+					return // answered later, by complete or sweepParked
+				}
+				r := w.parkFallback(pkt.key, now)
+				if pkt.resp != nil {
+					pkt.resp <- r
+				}
+				return
+			}
+			if pkt.resp != nil {
+				pkt.resp <- Result{Verdict: res.Verdict, Final: res.Final, CacheHit: res.CacheHit, Err: err}
+			}
+			return
+		}
+		res, err := w.vs.Process(pkt.key, now)
 		if pkt.resp != nil {
 			pkt.resp <- Result{Verdict: res.Verdict, Final: res.Final, CacheHit: res.CacheHit, Err: err}
 		}
@@ -386,27 +503,62 @@ func (w *worker) runJob(j *batchJob, now int64) {
 	if cap(w.procOut) < n {
 		w.procOut = make([]gigaflow.ProcessResult, n)
 		w.procErr = make([]error, n)
+		w.procPark = make([]bool, n)
 	}
 	out := w.procOut[:n]
 	errs := w.procErr[:n]
-	w.vs.ProcessBatch(j.keys, out, errs, now)
+	if !w.async {
+		w.vs.ProcessBatch(j.keys, out, errs, now)
+		for i := 0; i < n; i++ {
+			j.res[i] = Result{Verdict: out[i].Verdict, Final: out[i].Final, CacheHit: out[i].CacheHit, Err: errs[i]}
+			if j.resp != nil {
+				j.resp <- j.res[i]
+			}
+		}
+		if j.done != nil {
+			j.done <- j
+		}
+		return
+	}
+	// Async offload: hits resolve in the batch scan; misses park behind
+	// their flows and answer later via complete. j.pending starts at 1 for
+	// the scan itself so a completion racing in mid-scan (impossible
+	// today — completions arrive on this same goroutine — but cheap to
+	// make structural) can never fire done early; the scan's own unit is
+	// released at the end, signalling done if nothing parked.
+	parks := w.procPark[:n]
+	w.vs.ProcessBatchPark(j.keys, out, errs, parks, now)
+	j.pending = 1
 	for i := 0; i < n; i++ {
-		j.res[i] = Result{Verdict: out[i].Verdict, Final: out[i].Final, CacheHit: out[i].CacheHit, Err: errs[i]}
+		if parks[i] {
+			if w.parkOne(j.keys[i], parked{job: j, idx: i}, now) {
+				j.pending++
+				continue
+			}
+			j.res[i] = w.parkFallback(j.keys[i], now)
+		} else {
+			j.res[i] = Result{Verdict: out[i].Verdict, Final: out[i].Final, CacheHit: out[i].CacheHit, Err: errs[i]}
+		}
 		if j.resp != nil {
 			j.resp <- j.res[i]
 		}
 	}
-	if j.done != nil {
+	j.pending--
+	if j.pending == 0 && j.done != nil {
 		j.done <- j
 	}
 }
 
 // drain completes work still queued at shutdown so blocking submitters
 // are never stranded: control ops run normally (they only touch
-// worker-owned state and buffered channels), while packets and jobs fail
-// with ErrClosed. The loop stops as soon as the queue is momentarily
-// empty — late nonblocking submissions after that point are dropped with
-// the queue, exactly like packets lost in a NIC ring at teardown.
+// worker-owned state and buffered channels), upcall completions already
+// delivered by the engine are applied normally (their submitters get
+// real results), while packets and jobs fail with ErrClosed. The loop
+// stops as soon as the queue is momentarily empty — late nonblocking
+// submissions after that point are dropped with the queue, exactly like
+// packets lost in a NIC ring at teardown — and then the pending-flow
+// table is swept so parked packets whose completions never arrived fail
+// with ErrClosed too.
 func (w *worker) drain() {
 	for {
 		select {
@@ -414,6 +566,11 @@ func (w *worker) drain() {
 			switch {
 			case pkt.control != nil:
 				pkt.control()
+			case pkt.comp != nil:
+				now := time.Now().UnixNano()
+				for _, m := range pkt.comp {
+					w.complete(m, now)
+				}
 			case pkt.job != nil:
 				for i := range pkt.job.res {
 					pkt.job.res[i] = Result{Err: ErrClosed}
@@ -430,6 +587,7 @@ func (w *worker) drain() {
 				}
 			}
 		default:
+			w.sweepParked()
 			return
 		}
 	}
@@ -481,10 +639,16 @@ func (s *Service) UpdateRules(ctx context.Context, fn func(p *gigaflow.Pipeline)
 	for _, w := range s.workers {
 		w := w
 		op := packet{control: func() {
+			// Rule mutation and revalidation race the upcall engine's
+			// traversals of this replica; slowMu excludes them. (Held
+			// uncontended in synchronous mode.) The error send stays
+			// outside the critical section.
+			w.slowMu.Lock()
 			err := fn(w.vs.Pipeline())
 			if err == nil {
 				w.vs.Revalidate()
 			}
+			w.slowMu.Unlock()
 			errs <- err
 		}}
 		select {
@@ -589,6 +753,9 @@ func (s *Service) Close() error {
 	}
 	s.cancel()
 	<-s.term // the Start watcher closes term once every worker has exited
+	if s.eng != nil {
+		s.eng.Wait() // engine goroutines exit on the same cancellation
+	}
 	return nil
 }
 

@@ -40,6 +40,7 @@ func (s *Service) Collect(ctx context.Context) error {
 		w := w
 		op := packet{control: func() {
 			w.vs.CollectMetrics(s.reg, w.label)
+			w.collectUpcallMetrics(s.reg)
 			done <- struct{}{}
 		}}
 		select {
@@ -76,6 +77,20 @@ func (s *Service) collectServiceMetrics() {
 		capacity.With(w.label).Set(float64(cap(w.in)))
 		drops.With(w.label).Set(w.drops.Load())
 		skips.With(w.label).Set(w.skips.Load())
+	}
+	if s.upq != nil {
+		s.reg.Gauge("gigaflow_upcall_queue_depth",
+			"Misses waiting in the shared upcall queue.").Set(float64(s.upq.Depth()))
+		s.reg.Gauge("gigaflow_upcall_queue_capacity",
+			"Upcall queue length limit.").Set(float64(s.upq.Cap()))
+		s.reg.Counter("gigaflow_upcall_enqueued_total",
+			"Misses accepted onto the upcall queue.").Set(s.upq.Enqueued())
+		s.reg.Counter("gigaflow_upcall_queue_overflows_total",
+			"Misses refused by a full upcall queue.").Set(s.upq.Overflows())
+		s.reg.Counter("gigaflow_upcall_drained_total",
+			"Misses drained by the upcall engine.").Set(s.eng.Drained())
+		s.reg.Counter("gigaflow_upcall_batches_total",
+			"Engine drain batches executed.").Set(s.eng.Batches())
 	}
 	s.reg.Gauge("gigaflow_workers", "Forwarding workers.").Set(float64(len(s.workers)))
 	s.reg.Counter("gigaflow_traces_sampled_total",

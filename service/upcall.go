@@ -1,0 +1,343 @@
+// Asynchronous slow-path offload: the service half of the upcall
+// subsystem (internal/upcall holds the mechanism — pending-flow table,
+// bounded miss queue, drain engine).
+//
+// With Config.UpcallWorkers set, a worker no longer runs the pipeline
+// traversal for a main-cache miss inline. The packet is parked: its
+// delivery context (job slot or response channel) is appended to the
+// flow's pending-table entry, and — for the first packet of the flow
+// only — the entry is enqueued on the shared upcall queue. Engine
+// goroutines drain the queue in batches, run each flow's traversal
+// against the owning worker's pipeline replica (serialized with that
+// worker's own inline slow path through worker.slowMu), and post the
+// completed misses back onto the worker's input queue. The worker then
+// installs the rules, releases every packet parked behind the flow in
+// arrival order, and answers the submitters — so a warm flow behind a
+// cold storm is never head-of-line blocked by another flow's traversal.
+//
+// Equivalence with inline processing is a hard invariant: a parked
+// packet is counted nowhere at park time; the completion counts the
+// initiator exactly as the inline miss path would, and followers are
+// replayed through the normal hot path, hitting the entries the
+// completion installed — the same hits they would have been inline,
+// where the first packet's miss installs before later packets of the
+// flow are looked up. Three races break the naive version of this and
+// are each handled here: a rule update can make an in-flight traversal
+// stale (version check → replay inline); another flow's completion can
+// install a wildcard entry covering this flow (second-chance lookup →
+// traversal discarded); and shutdown can strand parked packets (the
+// worker's drain sweeps the pending table, failing them with ErrClosed,
+// before the service's term channel closes).
+package service
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"gigaflow"
+	"gigaflow/internal/telemetry"
+	"gigaflow/internal/upcall"
+)
+
+// OverflowPolicy selects what a worker does with a fresh miss when the
+// upcall queue is full. Followers of an already-pending flow never
+// touch the queue, so neither policy can reorder packets within a flow.
+type OverflowPolicy uint8
+
+const (
+	// OverflowInline (the default) falls back to the inline slow path:
+	// the worker runs the traversal itself, exactly as in synchronous
+	// mode. Backpressure degrades latency, never correctness.
+	OverflowInline OverflowPolicy = iota
+	// OverflowDrop fails the packet with ErrUpcallOverflow — the
+	// upcall-ring drop of a real datapath, for deployments that prefer
+	// shedding cold flows over stalling the worker.
+	OverflowDrop
+)
+
+// String names the policy.
+func (p OverflowPolicy) String() string {
+	if p == OverflowDrop {
+		return "drop"
+	}
+	return "inline"
+}
+
+// parked is one parked packet's delivery context: where its Result goes
+// once the flow's traversal completes. Exactly one of job/resp styles is
+// used — batch packets carry their job and slot, single-packet
+// submissions their response channel (which may be nil for
+// fire-and-forget).
+type parked struct {
+	job  *batchJob
+	idx  int // slot in job.res; meaningless when job is nil
+	resp chan<- Result
+}
+
+// parkOne parks a missed packet behind its flow's pending entry,
+// enqueueing an upcall if the flow was not already pending. It reports
+// false when the flow needs an upcall but the queue is full — the caller
+// applies the overflow policy; the aborted park leaves no state behind.
+func (w *worker) parkOne(k gigaflow.Key, p parked, now int64) bool {
+	m, created := w.pending.Park(k, w.idx, now, p)
+	if !created {
+		return true // follower: rides the traversal already in flight
+	}
+	if w.upq.TryEnqueue(m) {
+		return true
+	}
+	w.pending.Remove(k)
+	return false
+}
+
+// parkFallback finishes a missed packet the upcall queue refused,
+// according to the worker's overflow policy.
+func (w *worker) parkFallback(k gigaflow.Key, now int64) Result {
+	if w.overflow == OverflowDrop {
+		w.ovDrop++
+		return Result{Err: ErrUpcallOverflow}
+	}
+	w.ovInline++
+	res, err := w.vs.ProcessMissInline(k, now)
+	return Result{Verdict: res.Verdict, Final: res.Final, CacheHit: res.CacheHit, Err: err}
+}
+
+// complete applies one engine-completed miss on the worker goroutine:
+// detach the pending entry, finish the initiator (install via
+// CompleteMiss, or inline replay when the traversal failed, went stale,
+// or lost the race to a covering install), replay the followers through
+// the normal hot path, and deliver every result in arrival order.
+func (w *worker) complete(m *upcall.Miss[parked], now int64) {
+	if w.pending.Remove(m.Key) == nil {
+		// Already swept by a shutdown drain; the payloads were failed
+		// with ErrClosed and must not be answered twice.
+		w.stale++
+		return
+	}
+	pp := m.Payloads
+	w.completed++
+	w.released += uint64(len(pp))
+
+	fresh := m.Err == nil && m.Traversal != nil &&
+		m.Traversal.Version == w.vs.Pipeline().Version
+	if !fresh {
+		// Failed or stale traversal: every parked packet replays the
+		// inline path, traversing again — identical to what each would
+		// have done had it never parked under the current rules.
+		if m.Err == nil {
+			w.stale++
+		}
+		for _, p := range pp {
+			res, err := w.vs.Process(m.Key, now)
+			w.deliver(p, Result{Verdict: res.Verdict, Final: res.Final, CacheHit: res.CacheHit, Err: err})
+		}
+		return
+	}
+
+	// Second-chance lookup: while this flow waited, another flow's
+	// completion may have installed a wildcard entry covering it —
+	// inline, this packet would have hit that entry, so only a
+	// still-missing flow consumes its traversal.
+	res, still, err := w.vs.ProcessPark(m.Key, now)
+	if still {
+		res, err = w.vs.CompleteMiss(m.Key, m.Traversal, now, m.TraverseNs, now-m.EnqueuedNs)
+	} else {
+		w.stale++
+	}
+	w.deliver(pp[0], Result{Verdict: res.Verdict, Final: res.Final, CacheHit: res.CacheHit, Err: err})
+	for _, p := range pp[1:] {
+		r, rerr := w.vs.Process(m.Key, now)
+		w.deliver(p, Result{Verdict: r.Verdict, Final: r.Final, CacheHit: r.CacheHit, Err: rerr})
+	}
+}
+
+// deliver routes a completed packet's result back to its submitter: into
+// its job slot (signalling the job's completion channel when it was the
+// last outstanding packet) or down its response channel.
+func (w *worker) deliver(p parked, r Result) {
+	if p.job != nil {
+		j := p.job
+		j.res[p.idx] = r
+		if j.resp != nil {
+			j.resp <- r
+		}
+		j.pending--
+		if j.pending == 0 && j.done != nil {
+			j.done <- j
+		}
+	} else if p.resp != nil {
+		p.resp <- r
+	}
+}
+
+// sweepParked fails every packet still parked at shutdown with
+// ErrClosed, mirroring drain's treatment of queued jobs, so blocking
+// submitters waiting on parked packets always unblock before the
+// service's term channel closes. Single-packet response sends are
+// nonblocking, like drain's — a fire-and-forget submitter may be gone.
+func (w *worker) sweepParked() {
+	if w.pending == nil {
+		return
+	}
+	w.pending.Drain(func(m *upcall.Miss[parked]) {
+		for _, p := range m.Payloads {
+			if p.job != nil {
+				p.job.res[p.idx] = Result{Err: ErrClosed}
+				p.job.pending--
+				if p.job.pending == 0 && p.job.done != nil {
+					p.job.done <- p.job
+				}
+			} else if p.resp != nil {
+				select {
+				case p.resp <- Result{Err: ErrClosed}:
+				default:
+				}
+			}
+		}
+	})
+}
+
+// handleUpcalls is the engine handler: it runs each miss's pipeline
+// traversal against the owning worker's replica — under that worker's
+// slow-path lock, excluding the worker's own inline traversals and rule
+// updates — then posts the completed misses back to their workers,
+// grouped so each worker receives one message per batch. A send that
+// would block past shutdown is abandoned; the worker's drain sweeps the
+// corresponding pending entries.
+func (s *Service) handleUpcalls(ctx context.Context, batch []*upcall.Miss[parked]) {
+	for _, m := range batch {
+		w := s.workers[m.Shard]
+		t0 := time.Now()
+		w.slowMu.Lock()
+		tr, err := w.vs.Pipeline().Process(m.Key)
+		w.slowMu.Unlock()
+		m.TraverseNs = time.Since(t0).Nanoseconds()
+		m.Traversal = tr
+		m.Err = err
+	}
+	for i, m := range batch {
+		if m == nil {
+			continue
+		}
+		group := make([]*upcall.Miss[parked], 0, len(batch)-i)
+		group = append(group, m)
+		for j := i + 1; j < len(batch); j++ {
+			if batch[j] != nil && batch[j].Shard == m.Shard {
+				group = append(group, batch[j])
+				batch[j] = nil
+			}
+		}
+		select {
+		case s.workers[m.Shard].in <- packet{comp: group}:
+		case <-ctx.Done():
+			return
+		}
+	}
+}
+
+// UpcallStats snapshots the asynchronous offload's counters: per-worker
+// pending-table state and overflow/stale counts gathered on the workers'
+// own goroutines, plus the shared queue and engine counters. Enabled is
+// false (and the rest zero) when the service runs synchronously.
+type UpcallStats struct {
+	Enabled bool `json:"enabled"`
+	// PendingFlows counts flows with a traversal in flight;
+	// ParkedPackets the packets waiting behind them.
+	PendingFlows  int `json:"pending_flows"`
+	ParkedPackets int `json:"parked_packets"`
+	// Flows counts upcalls created (one per unique missed flow), Deduped
+	// the packets that coalesced onto an existing pending flow, and
+	// Released the parked packets handed back to their submitters.
+	Flows    uint64 `json:"flows"`
+	Deduped  uint64 `json:"deduped"`
+	Released uint64 `json:"released"`
+	// OverflowInline / OverflowDrops count misses the full queue pushed
+	// through the fallback paths; Stale counts engine traversals
+	// discarded (rule update, covering install, or shutdown sweep won
+	// the race); Completed counts flow completions applied.
+	OverflowInline uint64 `json:"overflow_inline"`
+	OverflowDrops  uint64 `json:"overflow_drops"`
+	Stale          uint64 `json:"stale"`
+	Completed      uint64 `json:"completed"`
+	// Shared queue and engine counters.
+	QueueDepth int    `json:"queue_depth"`
+	QueueCap   int    `json:"queue_capacity"`
+	Enqueued   uint64 `json:"enqueued"`
+	Overflows  uint64 `json:"overflows"`
+	Drained    uint64 `json:"drained"`
+	Batches    uint64 `json:"batches"`
+}
+
+// UpcallStats gathers the offload counters; see the UpcallStats type.
+func (s *Service) UpcallStats(ctx context.Context) (UpcallStats, error) {
+	var out UpcallStats
+	if s.upq == nil {
+		return out, nil
+	}
+	out.Enabled = true
+	var mu sync.Mutex
+	done := make(chan struct{}, len(s.workers))
+	for _, w := range s.workers {
+		w := w
+		op := packet{control: func() {
+			st := w.pending.Stats()
+			mu.Lock()
+			out.PendingFlows += w.pending.Len()
+			out.ParkedPackets += w.pending.Parked()
+			out.Flows += st.Upcalls
+			out.Deduped += st.Deduped
+			out.Released += st.Released
+			out.OverflowInline += w.ovInline
+			out.OverflowDrops += w.ovDrop
+			out.Stale += w.stale
+			out.Completed += w.completed
+			mu.Unlock()
+			done <- struct{}{}
+		}}
+		select {
+		case <-ctx.Done():
+			return out, ctx.Err()
+		case w.in <- op:
+		}
+	}
+	for range s.workers {
+		select {
+		case <-ctx.Done():
+			return out, ctx.Err()
+		case <-done:
+		}
+	}
+	out.QueueDepth = s.upq.Depth()
+	out.QueueCap = s.upq.Cap()
+	out.Enqueued = s.upq.Enqueued()
+	out.Overflows = s.upq.Overflows()
+	out.Drained = s.eng.Drained()
+	out.Batches = s.eng.Batches()
+	return out, nil
+}
+
+// collectUpcallMetrics mirrors the worker's offload counters into the
+// registry; called from Collect's per-worker control op, on the worker
+// goroutine. No-op for synchronous workers.
+func (w *worker) collectUpcallMetrics(reg *telemetry.Registry) {
+	if w.pending == nil {
+		return
+	}
+	c := func(name, help string, val uint64) {
+		reg.CounterVec(name, help, "worker").With(w.label).Set(val)
+	}
+	g := func(name, help string, val float64) {
+		reg.GaugeVec(name, help, "worker").With(w.label).Set(val)
+	}
+	st := w.pending.Stats()
+	c("gigaflow_upcall_flows_total", "Upcalls created (one per unique missed flow).", st.Upcalls)
+	c("gigaflow_upcall_deduped_total", "Parked packets coalesced onto an existing pending flow.", st.Deduped)
+	c("gigaflow_upcall_released_total", "Parked packets handed back to their submitters.", st.Released)
+	c("gigaflow_upcall_overflow_inline_total", "Misses processed inline because the upcall queue was full.", w.ovInline)
+	c("gigaflow_upcall_overflow_drops_total", "Misses dropped because the upcall queue was full.", w.ovDrop)
+	c("gigaflow_upcall_stale_total", "Engine traversals discarded (rule update, covering install, or shutdown).", w.stale)
+	c("gigaflow_upcall_completed_total", "Flow completions applied.", w.completed)
+	g("gigaflow_upcall_pending_flows", "Flows with a traversal in flight.", float64(w.pending.Len()))
+	g("gigaflow_upcall_parked_packets", "Packets parked behind pending flows.", float64(w.pending.Parked()))
+}

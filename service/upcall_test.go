@@ -1,0 +1,495 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"sort"
+	"testing"
+	"time"
+
+	"gigaflow"
+)
+
+// upcallConfig is the async twin of a plain config: identical datapath,
+// offload enabled. One engine worker keeps completion order equal to
+// park order, which the per-packet equality tests rely on; concurrency
+// is exercised separately.
+func upcallConfig(backend Backend, workers, engineWorkers int) Config {
+	cfg := Config{
+		Workers:           workers,
+		Backend:           backend,
+		MicroflowCapacity: 512,
+		UpcallWorkers:     engineWorkers,
+		UpcallQueue:       4096,
+	}
+	if backend == BackendMegaflow {
+		cfg.MegaflowCapacity = 1024
+	} else {
+		cfg.Cache = gigaflow.CacheConfig{NumTables: 3, TableCapacity: 3 * 256}
+	}
+	return cfg
+}
+
+func startCfg(t *testing.T, cfg Config) *Service {
+	t.Helper()
+	s, err := New(buildPipeline(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+// TestUpcallMatchesInline drives identical traffic through a synchronous
+// service and an async-offload one (same sharding, same backend) and
+// requires identical per-packet results and aggregate VSwitchStats. The
+// traffic mixes warm flows, cold flows, and same-flow packets split
+// across the park/release boundary (duplicates inside one batch of a
+// cold flow), on both backends. One engine worker makes completion
+// order deterministic, so equality is exact, packet by packet.
+func TestUpcallMatchesInline(t *testing.T) {
+	for _, backend := range []Backend{BackendGigaflow, BackendMegaflow} {
+		t.Run(backend.String(), func(t *testing.T) {
+			inCfg := upcallConfig(backend, 2, 1)
+			inCfg.UpcallWorkers, inCfg.UpcallQueue = 0, 0
+			inline := startCfg(t, inCfg)
+			async := startCfg(t, upcallConfig(backend, 2, 1))
+
+			ports := []uint64{80, 22}
+			var keys []gigaflow.Key
+			for i := 0; i < 200; i++ {
+				k := key(uint64(i*7%41), ports[i%2])
+				keys = append(keys, k)
+				if i%5 == 0 {
+					// Same-flow duplicates inside one submission: when the
+					// flow is cold these split across the park boundary and
+					// ride one traversal.
+					keys = append(keys, k, k)
+				}
+			}
+
+			ctx := context.Background()
+			bIn, bAs := NewBatch(64), NewBatch(64)
+			chunks := []int{1, 7, 32, 3, 64, 5, 2, 50}
+			for lo, c := 0, 0; lo < len(keys); c++ {
+				n := chunks[c%len(chunks)]
+				if lo+n > len(keys) {
+					n = len(keys) - lo
+				}
+				bIn.Reset()
+				bAs.Reset()
+				for _, k := range keys[lo : lo+n] {
+					bIn.Add(k)
+					bAs.Add(k)
+				}
+				if err := inline.SubmitBatch(ctx, bIn); err != nil {
+					t.Fatal(err)
+				}
+				if err := async.SubmitBatch(ctx, bAs); err != nil {
+					t.Fatal(err)
+				}
+				for i := 0; i < n; i++ {
+					ri, ra := bIn.Result(i), bAs.Result(i)
+					if ri != ra {
+						t.Fatalf("packet %d: async %+v != inline %+v", lo+i, ra, ri)
+					}
+				}
+				lo += n
+			}
+
+			si, err := inline.Stats(ctx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sa, err := async.Stats(ctx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if si != sa {
+				t.Errorf("VSwitchStats diverge: async %+v, inline %+v", sa, si)
+			}
+
+			us, err := async.UpcallStats(ctx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !us.Enabled || us.Flows == 0 || us.Deduped == 0 {
+				t.Errorf("offload did not engage: %+v", us)
+			}
+			if us.PendingFlows != 0 || us.ParkedPackets != 0 {
+				t.Errorf("work left pending after blocking submissions: %+v", us)
+			}
+			if us.Released != us.Deduped+us.Completed-us.Stale {
+				// Released = all parked packets handed back: one initiator per
+				// completion that consumed or discarded a traversal, plus the
+				// deduped followers. (Stale here only counts discarded
+				// traversals, which still release their initiator.)
+				t.Logf("released %d, deduped %d, completed %d, stale %d",
+					us.Released, us.Deduped, us.Completed, us.Stale)
+			}
+			if ui, _ := inline.UpcallStats(ctx); ui.Enabled {
+				t.Errorf("synchronous service reports offload enabled")
+			}
+		})
+	}
+}
+
+// TestUpcallOrdering pins in-order per-flow release: in a batch holding
+// several packets of one cold flow, exactly the first is the slow-path
+// initiator and every later one observes its install, both positionally
+// and in WithResponse stream order — indistinguishable from inline.
+func TestUpcallOrdering(t *testing.T) {
+	s := startCfg(t, upcallConfig(BackendGigaflow, 1, 2))
+	ctx := context.Background()
+
+	kA, kB := key(1, 80), key(2, 22) // different ports: no wildcard overlap
+	b := NewBatch(6)
+	for _, k := range []gigaflow.Key{kA, kB, kA, kB, kA, kB} {
+		b.Add(k)
+	}
+	if err := s.SubmitBatch(ctx, b); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		r := b.Result(i)
+		if r.Err != nil {
+			t.Fatalf("packet %d: %v", i, r.Err)
+		}
+		if wantHit := i >= 2; r.CacheHit != wantHit {
+			t.Fatalf("packet %d: CacheHit=%v, want %v (first packet of each flow is the initiator)",
+				i, r.CacheHit, wantHit)
+		}
+	}
+
+	// Response-channel order for one flow must be initiator first, then
+	// followers, regardless of the engine's concurrency. A fresh service:
+	// the wildcard entries installed above would otherwise cover kC.
+	s = startCfg(t, upcallConfig(BackendGigaflow, 1, 2))
+	kC := key(3, 80)
+	resp := make(chan Result, 3)
+	b.Reset()
+	b.Add(kC)
+	b.Add(kC)
+	b.Add(kC)
+	if err := s.SubmitBatch(ctx, b, Nonblocking(), WithResponse(resp)); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		select {
+		case r := <-resp:
+			if r.Err != nil {
+				t.Fatalf("response %d: %v", i, r.Err)
+			}
+			if wantHit := i > 0; r.CacheHit != wantHit {
+				t.Fatalf("response %d: CacheHit=%v, want %v", i, r.CacheHit, wantHit)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("response %d never arrived", i)
+		}
+	}
+}
+
+// TestUpcallOverflowDrop drives the queue into deterministic overflow by
+// blocking the engine on the worker's slow-path lock (held directly by
+// the test): the first miss is in the engine's hands, the second fills
+// the depth-1 queue, and every further miss must drop with
+// ErrUpcallOverflow. Unlocking releases the two survivors.
+func TestUpcallOverflowDrop(t *testing.T) {
+	cfg := upcallConfig(BackendGigaflow, 1, 1)
+	cfg.UpcallQueue = 1
+	cfg.UpcallBatch = 1
+	cfg.UpcallOverflow = OverflowDrop
+	s := startCfg(t, cfg)
+	ctx := context.Background()
+	w := s.workers[0]
+
+	w.slowMu.Lock()
+	resp := make(chan Result, 8)
+	if _, err := s.Submit(ctx, key(1, 80), Nonblocking(), WithResponse(resp)); err != nil {
+		t.Fatal(err)
+	}
+	// Wait until the engine has dequeued the first miss (and is now
+	// blocked on slowMu), so the queue slot is free again.
+	for deadline := time.Now().Add(5 * time.Second); s.eng.Drained() != 1; {
+		if time.Now().After(deadline) {
+			t.Fatal("engine never picked up the first miss")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	b := NewBatch(7)
+	for h := uint64(2); h <= 8; h++ {
+		b.Add(key(h, 80))
+	}
+	if err := s.SubmitBatch(ctx, b, Nonblocking(), WithResponse(resp)); err != nil {
+		t.Fatal(err)
+	}
+
+	// The six drops happen synchronously in the worker's scan: flow 2
+	// refills the queue, flows 3-8 overflow.
+	drops := 0
+	for i := 0; i < 6; i++ {
+		select {
+		case r := <-resp:
+			if !errors.Is(r.Err, ErrUpcallOverflow) {
+				t.Fatalf("expected ErrUpcallOverflow, got %+v", r)
+			}
+			drops++
+		case <-time.After(5 * time.Second):
+			t.Fatalf("drop %d never reported (got %d)", i, drops)
+		}
+	}
+	w.slowMu.Unlock()
+	for i := 0; i < 2; i++ {
+		select {
+		case r := <-resp:
+			if r.Err != nil || r.Verdict.Port != 1 {
+				t.Fatalf("survivor %d: %+v", i, r)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("survivor %d never completed", i)
+		}
+	}
+
+	us, err := s.UpcallStats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if us.OverflowDrops != 6 || us.Overflows != 6 || us.Completed != 2 {
+		t.Errorf("stats: %+v, want 6 drops / 6 queue overflows / 2 completions", us)
+	}
+}
+
+// TestUpcallOverflowInline checks the default policy: a full queue falls
+// back to the inline slow path, so every packet still gets its verdict.
+func TestUpcallOverflowInline(t *testing.T) {
+	cfg := upcallConfig(BackendGigaflow, 1, 1)
+	cfg.UpcallQueue = 1
+	cfg.UpcallBatch = 1
+	s := startCfg(t, cfg)
+	ctx := context.Background()
+
+	b := NewBatch(32)
+	for h := uint64(1); h <= 32; h++ {
+		b.Add(key(h, 80))
+	}
+	if err := s.SubmitBatch(ctx, b); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 32; i++ {
+		if r := b.Result(i); r.Err != nil || r.Verdict.Port != 1 {
+			t.Fatalf("packet %d: %+v", i, r)
+		}
+	}
+	st, err := s.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Packets != 32 {
+		t.Errorf("stats: %+v", st)
+	}
+}
+
+// TestUpcallShutdownParked proves shutdown is hang-proof with packets
+// parked and the engine wedged mid-traversal: Close must fail the parked
+// packets with ErrClosed (unblocking their submitters) and still return
+// once the engine is released.
+func TestUpcallShutdownParked(t *testing.T) {
+	cfg := upcallConfig(BackendGigaflow, 1, 1)
+	cfg.UpcallBatch = 1
+	s, err := New(buildPipeline(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	w := s.workers[0]
+
+	w.slowMu.Lock()
+	resp := make(chan Result, 1)
+	if _, err := s.Submit(ctx, key(1, 80), Nonblocking(), WithResponse(resp)); err != nil {
+		t.Fatal(err)
+	}
+	// A blocking submitter parked behind a second flow, to prove it
+	// unblocks at Close.
+	blocked := make(chan error, 1)
+	b := NewBatch(1)
+	b.Add(key(2, 80))
+	go func() { blocked <- s.SubmitBatch(ctx, b) }()
+	for deadline := time.Now().Add(5 * time.Second); ; {
+		us, err := s.UpcallStats(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if us.ParkedPackets == 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("packets never parked: %+v", us)
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	closed := make(chan error, 1)
+	go func() { closed <- s.Close() }()
+	select {
+	case r := <-resp:
+		if !errors.Is(r.Err, ErrClosed) {
+			t.Fatalf("parked packet got %+v, want ErrClosed", r)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("parked packet never failed at shutdown")
+	}
+	select {
+	case <-blocked:
+		if got := b.Result(0).Err; !errors.Is(got, ErrClosed) {
+			t.Fatalf("blocked submitter's request got %v, want ErrClosed", got)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("blocking submitter still stuck after shutdown")
+	}
+
+	w.slowMu.Unlock() // release the engine so Close can join it
+	select {
+	case err := <-closed:
+		if err != nil {
+			t.Fatalf("Close: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close hung waiting for the engine")
+	}
+}
+
+// holPipeline builds a pipeline whose flows never share installed cache
+// entries: one exact /32 rule per host, so every new host is a genuine
+// slow-path miss. This is the workload that exposes head-of-line
+// blocking — an inline worker stalls every queued packet behind each
+// cold traversal.
+func holPipeline(hosts int) *gigaflow.Pipeline {
+	p := gigaflow.NewPipeline("hol")
+	p.AddTable(0, "l2", gigaflow.NewFieldSet(gigaflow.FieldEthDst))
+	p.AddTable(1, "l3", gigaflow.NewFieldSet(gigaflow.FieldIPDst))
+	p.AddTable(2, "l4", gigaflow.NewFieldSet(gigaflow.FieldTpDst))
+	p.MustAddRule(0, gigaflow.MustParseMatch("eth_dst=02:00:00:00:00:01"), 10, nil, 1)
+	for h := 0; h < hosts; h++ {
+		m := gigaflow.MustParseMatch(fmt.Sprintf("ip_dst=10.0.%d.%d/32", (h>>8)&0xff, h&0xff))
+		p.MustAddRule(1, m, 10, nil, 2)
+	}
+	p.MustAddRule(2, gigaflow.MustParseMatch("tp_dst=80"), 10,
+		[]gigaflow.Action{gigaflow.Output(1)}, gigaflow.NoTable)
+	return p
+}
+
+// holProbe measures the warm flow's blocking-submit latency while cold
+// storms of stormSize never-before-seen flows are dumped on the same
+// worker ahead of each probe. Returns the probe p50/p99 in nanoseconds.
+func holProbe(t *testing.T, s *Service, hot gigaflow.Key, rounds, stormSize int) (p50, p99 float64) {
+	t.Helper()
+	ctx := context.Background()
+	// Warm the hot flow.
+	for i := 0; i < 4; i++ {
+		if r, err := s.Submit(ctx, hot); err != nil || r.Err != nil {
+			t.Fatalf("warming: %v %v", err, r.Err)
+		}
+	}
+	storm := NewBatch(stormSize)
+	lats := make([]float64, 0, rounds)
+	host := 0
+	for r := 0; r < rounds; r++ {
+		storm.Reset()
+		for j := 0; j < stormSize; j++ {
+			storm.Add(key(uint64(host), 80))
+			host++
+		}
+		if err := s.SubmitBatch(ctx, storm, Nonblocking()); err != nil {
+			t.Fatal(err)
+		}
+		start := time.Now()
+		res, err := s.Submit(ctx, hot)
+		lat := float64(time.Since(start).Nanoseconds())
+		if err != nil || res.Err != nil {
+			t.Fatalf("probe: %v %v", err, res.Err)
+		}
+		lats = append(lats, lat)
+		// Off the clock, let the engine drain this round's storm so the
+		// gate measures per-storm head-of-line blocking, not cumulative
+		// engine lag. Inline rounds are self-pacing: the blocking probe
+		// already waited behind the whole storm. No-op when the service
+		// has no offload (UpcallStats reports zero either way).
+		for {
+			us, err := s.UpcallStats(ctx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if us.ParkedPackets == 0 && us.QueueDepth == 0 {
+				break
+			}
+		}
+	}
+	sort.Float64s(lats)
+	return lats[len(lats)/2], lats[(len(lats)*99)/100]
+}
+
+// TestUpcallHOLGate is the head-of-line-blocking regression gate behind
+// `make bench-gate`: during a cold-flow storm, a warm flow's p99
+// blocking-submit latency with the async offload must be at least 2x
+// better than the same workload processed inline — the whole point of
+// parking misses instead of traversing them on the datapath goroutine.
+// Skipped unless GF_BENCH_GATE=1.
+func TestUpcallHOLGate(t *testing.T) {
+	if os.Getenv("GF_BENCH_GATE") != "1" {
+		t.Skip("set GF_BENCH_GATE=1 to run the upcall HOL gate")
+	}
+	const (
+		rounds    = 200
+		stormSize = 32
+		hosts     = rounds*stormSize + 1
+	)
+	mkCfg := func(engineWorkers int) Config {
+		cfg := Config{
+			Workers:           1,
+			Cache:             gigaflow.CacheConfig{NumTables: 3, TableCapacity: 3 * 4096},
+			MicroflowCapacity: 1024,
+			QueueDepth:        4096,
+		}
+		if engineWorkers > 0 {
+			cfg.UpcallWorkers = engineWorkers
+			cfg.UpcallQueue = 8192
+		}
+		return cfg
+	}
+	hot := key(uint64(hosts-1), 80)
+
+	mk := func(engineWorkers int) *Service {
+		s, err := New(holPipeline(hosts), mkCfg(engineWorkers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Start(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { s.Close() })
+		return s
+	}
+
+	inline := mk(0)
+	async := mk(2)
+	inP50, inP99 := holProbe(t, inline, hot, rounds, stormSize)
+	asP50, asP99 := holProbe(t, async, hot, rounds, stormSize)
+
+	speedup := inP99 / asP99
+	t.Logf("inline p50/p99 %.0f/%.0f ns, async p50/p99 %.0f/%.0f ns, p99 speedup %.1fx",
+		inP50, inP99, asP50, asP99, speedup)
+	fmt.Printf("bench-gate: warm-flow p99 under cold storm: inline %.0f ns, async %.0f ns, speedup %.1fx (floor 2.0x)\n",
+		inP99, asP99, speedup)
+	if speedup < 2 {
+		t.Fatalf("async offload p99 is only %.1fx better than inline (floor 2x): %.0f vs %.0f ns",
+			speedup, asP99, inP99)
+	}
+}

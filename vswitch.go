@@ -2,6 +2,7 @@ package gigaflow
 
 import (
 	"fmt"
+	"sync"
 
 	gfcache "gigaflow/internal/gigaflow"
 	"gigaflow/internal/megaflow"
@@ -27,6 +28,7 @@ type VSwitch struct {
 	maxIdle int64
 	tracer  *telemetry.Tracer          // optional traversal tracer (sampled)
 	rec     *telemetry.LatencyRecorder // optional latency attribution + flight ring
+	slowMu  *sync.Mutex                // optional slow-path traversal lock (async upcall mode)
 	stats   VSwitchStats
 }
 
@@ -112,6 +114,19 @@ func WithTracer(t *telemetry.Tracer) VSwitchOption {
 // the recorder is single-threaded; give each VSwitch its own.
 func WithLatencyRecorder(r *telemetry.LatencyRecorder) VSwitchOption {
 	return func(v *VSwitch) { v.rec = r }
+}
+
+// WithSlowpathLock serializes every inline pipeline traversal this
+// VSwitch performs (miss punts, overflow fallbacks, follower replays)
+// against mu. The pipeline's TSS classifier keeps mutable per-lookup
+// state, so when an external upcall engine traverses the same pipeline
+// replica from its own goroutine, both sides must hold the same lock;
+// the engine locks mu around its traversals, the VSwitch locks it here.
+// The cache tiers and counters stay single-threaded on the goroutine
+// driving the switch — only the traversal is contended. A nil mu (the
+// default) keeps the slow path lock-free for strictly synchronous use.
+func WithSlowpathLock(mu *sync.Mutex) VSwitchOption {
+	return func(v *VSwitch) { v.slowMu = mu }
 }
 
 // NewVSwitch builds a vSwitch around a pipeline with a Gigaflow cache of
@@ -380,7 +395,13 @@ func (v *VSwitch) processMiss(k Key, now int64, tb *telemetry.TraceBuilder) (Pro
 	if tb != nil {
 		tb.Begin("slowpath")
 	}
+	if v.slowMu != nil {
+		v.slowMu.Lock() // exclude concurrent upcall-engine traversals
+	}
 	tr, err := v.pipe.Process(k)
+	if v.slowMu != nil {
+		v.slowMu.Unlock()
+	}
 	if tb != nil {
 		tb.End(err == nil)
 	}
