@@ -1,12 +1,12 @@
 GO ?= go
 
-.PHONY: ci build test race vet lint lint-json suppress-check fmt-check bench bench-gate bench-json deprecated-check fuzz fuzz-regress
+.PHONY: ci build test race vet lint lint-json suppress-check fmt-check bench bench-gate bench-json fuzz fuzz-regress
 
 ## ci: the standard verification gate — vet, build, race-enabled tests,
 ## the project linter, a gofmt cleanliness check, the suppression audit,
-## the deprecated-alias sweep, and the checked-in fuzz corpus replayed as
-## regression tests. Run before every commit.
-ci: vet build race lint suppress-check fmt-check deprecated-check fuzz-regress
+## and the checked-in fuzz corpus replayed as regression tests. Run
+## before every commit.
+ci: vet build race lint suppress-check fmt-check fuzz-regress
 
 build:
 	$(GO) build ./...
@@ -77,11 +77,16 @@ bench:
 ##   - during a cold-flow storm, a warm flow's p99 blocking-submit latency
 ##     with the async upcall offload must be at least 2x better than the
 ##     same workload processed inline (head-of-line blocking floor).
+##   - connection tracking must cost at most 5% on stateless traffic: a
+##     conntrack-enabled service pushing plain TCP flows through a
+##     stateless pipeline vs the identical service with tracking off, at
+##     0 allocs/op.
 bench-gate:
 	GF_BENCH_GATE=1 $(GO) test -run TestBatchThroughputGate -count=1 -v ./service
 	GF_BENCH_GATE=1 $(GO) test -run TestLatencyOverheadGate -count=1 -v ./service
 	GF_BENCH_GATE=1 $(GO) test -run TestSlowpathProbeGate -count=1 -v ./internal/tss
 	GF_BENCH_GATE=1 $(GO) test -run TestUpcallHOLGate -count=1 -v ./service
+	GF_BENCH_GATE=1 $(GO) test -run TestConntrackOverheadGate -count=1 -v ./service
 
 ## bench-json: regenerate the checked-in benchmark reports:
 ##   - BENCH_slowpath.json — wall-clock slow-path (cold caches, low
@@ -92,19 +97,14 @@ bench-gate:
 ##     state and a cold-start storm, with flight-recorder counters.
 ##   - BENCH_upcall.json — warm-flow latency ladder under a cold-flow
 ##     storm, inline vs async upcall offload, with upcall counters.
+##   - BENCH_dnslb.json — the stateful DNS load-balancer scenario
+##     (conntrack, DNAT pool pinning, ct_state pipeline, epoch
+##     invalidation) on both cache backends, with conntrack counters.
 bench-json:
 	$(GO) run ./cmd/gigabench -exp slowpath -flows 20000 -json BENCH_slowpath.json
 	$(GO) run ./cmd/gigabench -exp latency -flows 20000 -json BENCH_latency.json
 	$(GO) run ./cmd/gigabench -exp upcall -json BENCH_upcall.json
-
-## deprecated-check: no new callers of the deprecated TrySubmit /
-## TrySubmitFrame aliases outside the service package (where they are
-## defined and contract-tested). New code uses Submit* with Nonblocking().
-deprecated-check:
-	@out=$$(grep -rn --include='*.go' -e '\.TrySubmit(' -e '\.TrySubmitFrame(' . | grep -v '^\./service/'); \
-	if [ -n "$$out" ]; then \
-		echo "deprecated TrySubmit/TrySubmitFrame callers (use Submit* with Nonblocking()):"; \
-		echo "$$out"; exit 1; fi
+	$(GO) run ./cmd/gigabench -exp dnslb -json BENCH_dnslb.json
 
 ## fuzz-regress: replay the checked-in seed corpus (testdata/fuzz) through
 ## the decoder fuzz target in plain-test mode — fast, deterministic, part

@@ -87,8 +87,7 @@ func runUpcall(p experiments.Params, jsonPath string) (*stats.Table, error) {
 			QueueDepth:        4096,
 		}
 		if engineWorkers > 0 {
-			cfg.UpcallWorkers = engineWorkers
-			cfg.UpcallQueue = 8192
+			cfg.Upcall = service.UpcallConfig{Workers: engineWorkers, Queue: 8192}
 		}
 		svc, err := service.New(upcallPipeline(hosts), cfg)
 		if err != nil {

@@ -65,6 +65,24 @@ const (
 	FieldTpSrc   = flow.FieldTpSrc
 	FieldTpDst   = flow.FieldTpDst
 	FieldMeta    = flow.FieldMeta
+	FieldCtState = flow.FieldCtState
+)
+
+// Verdict kinds (see flow.VerdictKind).
+const (
+	VerdictNone   = flow.VerdictNone
+	VerdictOutput = flow.VerdictOutput
+	VerdictDrop   = flow.VerdictDrop
+)
+
+// ct_state bits carried in FieldCtState (see internal/conntrack).
+const (
+	CtTrk = flow.CtTrk
+	CtNew = flow.CtNew
+	CtEst = flow.CtEst
+	CtRel = flow.CtRel
+	CtRpl = flow.CtRpl
+	CtCls = flow.CtCls
 )
 
 // Action constructors and flow helpers.
@@ -72,6 +90,9 @@ var (
 	SetField       = flow.SetField
 	Output         = flow.Output
 	Drop           = flow.Drop
+	DNAT           = flow.DNAT
+	SNAT           = flow.SNAT
+	CtNAT          = flow.CtNAT
 	ParseKey       = flow.ParseKey
 	ParseMatch     = flow.ParseMatch
 	MustParseKey   = flow.MustParseKey
@@ -96,6 +117,9 @@ type Traversal = pipeline.Traversal
 
 // NoTable marks a terminal rule (no goto-table).
 const NoTable = pipeline.NoTable
+
+// NATTarget is one backend endpoint of a NAT pool (see Pipeline.SetNATPool).
+type NATTarget = pipeline.NATTarget
 
 // NewPipeline creates an empty pipeline.
 func NewPipeline(name string) *Pipeline { return pipeline.New(name) }

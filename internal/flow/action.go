@@ -12,6 +12,19 @@ const (
 	ActionOutput
 	// ActionDrop discards the packet and terminates processing.
 	ActionDrop
+	// ActionDNAT rewrites the destination of a tracked connection to a
+	// backend drawn from the NAT pool named by Value. The binding is chosen
+	// once per connection and resolved into concrete set-field rewrites by
+	// the conntrack layer during traversal; without a resolver the action
+	// is a no-op, like any unknown action.
+	ActionDNAT
+	// ActionSNAT rewrites the source of a tracked connection from the NAT
+	// pool named by Value, resolved like ActionDNAT.
+	ActionSNAT
+	// ActionCtNAT applies the connection's recorded NAT binding in the
+	// direction the packet travels: reply packets get the inverse rewrite
+	// (un-DNAT the source / un-SNAT the destination).
+	ActionCtNAT
 )
 
 // Action is one packet-processing primitive. Actions are plain comparable
@@ -42,6 +55,21 @@ func Output(port uint16) Action {
 // Drop builds an action discarding the packet.
 func Drop() Action { return Action{Type: ActionDrop} }
 
+// DNAT builds an action rewriting the destination to a backend from NAT
+// pool `pool`.
+func DNAT(pool uint16) Action {
+	return Action{Type: ActionDNAT, Value: uint64(pool)}
+}
+
+// SNAT builds an action rewriting the source from NAT pool `pool`.
+func SNAT(pool uint16) Action {
+	return Action{Type: ActionSNAT, Value: uint64(pool)}
+}
+
+// CtNAT builds an action applying the tracked connection's NAT binding in
+// the packet's direction (the reverse rewrite for reply packets).
+func CtNAT() Action { return Action{Type: ActionCtNAT} }
+
 // String renders the action in OVS-like notation.
 func (a Action) String() string {
 	switch a.Type {
@@ -54,6 +82,12 @@ func (a Action) String() string {
 		return fmt.Sprintf("output(%d)", a.Value)
 	case ActionDrop:
 		return "drop"
+	case ActionDNAT:
+		return fmt.Sprintf("dnat(%d)", a.Value)
+	case ActionSNAT:
+		return fmt.Sprintf("snat(%d)", a.Value)
+	case ActionCtNAT:
+		return "ct_nat"
 	default:
 		return fmt.Sprintf("action(%d)", a.Type)
 	}

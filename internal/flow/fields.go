@@ -31,9 +31,23 @@ const (
 	FieldTpSrc                  // transport (TCP/UDP) source port
 	FieldTpDst                  // transport (TCP/UDP) destination port
 	FieldMeta                   // pipeline metadata register (not a header)
+	FieldCtState                // connection-tracking state bits (not a header)
 
 	// NumFields is the number of fields in a flow key.
-	NumFields = 10
+	NumFields = 11
+)
+
+// Connection-tracking state bits carried in FieldCtState, mirroring the OVS
+// ct_state flag vocabulary. The conntrack layer folds these into the key
+// before cache lookup and pipeline traversal, so rules and cached entries
+// can match ternarily on connection state.
+const (
+	CtTrk uint64 = 1 << iota // packet passed through conntrack
+	CtNew                    // connection in NEW state
+	CtEst                    // connection ESTABLISHED
+	CtRel                    // RELATED to an existing connection (ICMP)
+	CtRpl                    // packet travels in the reply direction
+	CtCls                    // connection CLOSED (FIN/RST seen)
 )
 
 // fieldWidths holds the bit width of each field.
@@ -48,6 +62,7 @@ var fieldWidths = [NumFields]uint{
 	FieldTpSrc:   16,
 	FieldTpDst:   16,
 	FieldMeta:    16,
+	FieldCtState: 8,
 }
 
 // fieldNames holds the canonical display name of each field.
@@ -62,11 +77,13 @@ var fieldNames = [NumFields]string{
 	FieldTpSrc:   "tp_src",
 	FieldTpDst:   "tp_dst",
 	FieldMeta:    "metadata",
+	FieldCtState: "ct_state",
 }
 
 // HeaderFields is the set of real packet-header fields (everything except
-// the metadata register). The disjointness analysis partitions over these.
-const HeaderFields = AllFields &^ (1 << FieldMeta)
+// the metadata register and the conntrack state bits). The disjointness
+// analysis partitions over these.
+const HeaderFields = AllFields &^ (1 << FieldMeta) &^ (1 << FieldCtState)
 
 // Width reports the bit width of field f.
 func (f FieldID) Width() uint { return fieldWidths[f] }

@@ -154,11 +154,12 @@ func TestMaskOps(t *testing.T) {
 	if got := u.WithoutFields(NewFieldSet(FieldEthSrc, FieldIPDst)); got.Fields() != NewFieldSet(FieldEthDst) {
 		t.Errorf("WithoutFields = %v", got.Fields())
 	}
-	if FullMask().BitCount() != 16+48+48+16+32+32+8+16+16+16 {
+	if FullMask().BitCount() != 16+48+48+16+32+32+8+16+16+16+8 {
 		t.Errorf("FullMask BitCount = %d", FullMask().BitCount())
 	}
-	if HeaderFields.Contains(FieldMeta) || HeaderFields.Len() != NumFields-1 {
-		t.Error("HeaderFields must exclude only metadata")
+	if HeaderFields.Contains(FieldMeta) || HeaderFields.Contains(FieldCtState) ||
+		HeaderFields.Len() != NumFields-2 {
+		t.Error("HeaderFields must exclude only metadata and ct_state")
 	}
 	if !EmptyMask.IsEmpty() || FullMask().IsEmpty() {
 		t.Error("IsEmpty wrong")
@@ -381,5 +382,55 @@ func TestVerdictString(t *testing.T) {
 	}
 	if (Verdict{}).String() != "continue" {
 		t.Error("none verdict string")
+	}
+}
+
+// TestSymHash: the symmetric flow hash must be invariant under endpoint
+// reversal (both directions of a conversation shard to the same
+// worker), sensitive to everything else, and must agree with itself on
+// already-canonical tuples.
+func TestSymHash(t *testing.T) {
+	mk := func(ipSrc, ipDst, tpSrc, tpDst, proto uint64) Key {
+		var k Key
+		return k.With(FieldIPSrc, ipSrc).With(FieldIPDst, ipDst).
+			With(FieldTpSrc, tpSrc).With(FieldTpDst, tpDst).
+			With(FieldIPProto, proto)
+	}
+	fwd := mk(0x0a000001, 0x0a000002, 4000, 443, 6)
+	rev := mk(0x0a000002, 0x0a000001, 443, 4000, 6)
+	if fwd.SymHash() != rev.SymHash() {
+		t.Fatal("SymHash not symmetric under endpoint reversal")
+	}
+	if fwd.FlowHash() == rev.FlowHash() {
+		t.Fatal("FlowHash unexpectedly symmetric — SymHash would be redundant")
+	}
+
+	// Same addresses, swapped ports only: a DIFFERENT conversation, and
+	// the ordering canonicalizes on (ip, port) pairs, so it must not
+	// collide with fwd by construction.
+	cross := mk(0x0a000001, 0x0a000002, 443, 4000, 6)
+	if cross.SymHash() == fwd.SymHash() {
+		t.Error("distinct conversations collide")
+	}
+	// Equal IPs: ports alone decide the canonical order.
+	p1 := mk(7, 7, 100, 200, 17)
+	p2 := mk(7, 7, 200, 100, 17)
+	if p1.SymHash() != p2.SymHash() {
+		t.Error("equal-IP reversal not symmetric")
+	}
+	// Sensitivity: protocol and each endpoint perturb the hash.
+	udp := fwd.With(FieldIPProto, 17)
+	if fwd.SymHash() == udp.SymHash() {
+		t.Error("insensitive to protocol")
+	}
+	moved := fwd.With(FieldIPDst, 0x0a000003)
+	if fwd.SymHash() == moved.SymHash() {
+		t.Error("insensitive to address")
+	}
+	// Fields outside the 5-tuple must not matter (hash feeds sharding
+	// before any rewrite).
+	dressed := fwd.With(FieldEthSrc, 42).With(FieldMeta, 9)
+	if fwd.SymHash() != dressed.SymHash() {
+		t.Error("non-tuple fields leak into SymHash")
 	}
 }

@@ -50,6 +50,31 @@ func (k *Key) FlowHash() uint64 {
 	return h
 }
 
+// SymHash is FlowHash made invariant under endpoint reversal: both
+// directions of a connection hash identically, so conntrack-mode
+// sharding lands a conversation's packets on one worker. The (IP, port)
+// endpoint pair is canonicalized by ordering before hashing.
+//
+//gf:hotpath
+func (k *Key) SymHash() uint64 {
+	a, ap := k[FieldIPSrc], k[FieldTpSrc]
+	b, bp := k[FieldIPDst], k[FieldTpDst]
+	if a > b || (a == b && ap > bp) {
+		a, b, ap, bp = b, a, bp, ap
+	}
+	const prime = 0x100000001b3
+	h := uint64(0x9e3779b97f4a7c15)
+	h = (h ^ a) * prime
+	h = (h ^ b) * prime
+	h = (h ^ k[FieldIPProto]) * prime
+	h = (h ^ ap) * prime
+	h = (h ^ bp) * prime
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 29
+	return h
+}
+
 // WithMasked returns a copy of k where the bits of f selected by mask are
 // replaced by the corresponding bits of v.
 func (k Key) WithMasked(f FieldID, v, mask uint64) Key {

@@ -49,6 +49,12 @@ type Entry struct {
 	// Installs counts how many slowpath traversals produced this entry —
 	// the sub-traversal sharing frequency of Fig. 11.
 	Installs uint64
+	// CtConn and CtEpoch tie a connection-dependent entry (one whose
+	// sub-traversal resolved a NAT action) to the connection state it was
+	// built under; CtEpoch zero means connection-independent. The
+	// datapath validates the pair against the conntrack table on hit.
+	CtConn  flow.Key
+	CtEpoch uint64
 
 	Hits    uint64
 	LastHit int64
@@ -222,6 +228,7 @@ type Stats struct {
 	EvictLRU           uint64 `json:"evict_lru"`
 	Expired            uint64 `json:"expired"`
 	Revoked            uint64 `json:"revoked"`
+	CtInvalid          uint64 `json:"ct_invalid"` // removed by conntrack epoch invalidation
 	RevalWork          uint64 `json:"reval_work"` // pipeline table lookups spent revalidating
 	// TablesProbed counts per-lookup table consultations, and TupleProbes
 	// the TSS tuple probes within them — the software search work a
@@ -498,6 +505,9 @@ func buildEntry(tr *pipeline.Traversal, seg Segment, now int64) *Entry {
 		LastHit:  now,
 		Created:  now,
 	}
+	if tr.SegmentCtDep(seg.Start, seg.End) {
+		e.CtConn, e.CtEpoch = tr.CtConn, tr.CtEpoch
+	}
 	if seg.End == tr.Len() && tr.Verdict.Terminal() {
 		e.Terminal = true
 		e.Verdict = tr.Verdict
@@ -514,6 +524,7 @@ func buildEntry(tr *pipeline.Traversal, seg Segment, now int64) *Entry {
 func sameSemantics(a, b *Entry) bool {
 	return a.Tag == b.Tag && a.Priority == b.Priority && a.Match.Equal(b.Match) &&
 		a.NextTag == b.NextTag && a.Terminal == b.Terminal && a.Verdict == b.Verdict &&
+		a.CtConn == b.CtConn && a.CtEpoch == b.CtEpoch &&
 		flow.ActionsEqual(a.Commit, b.Commit)
 }
 
@@ -625,6 +636,17 @@ func (c *Cache) InsertPartition(tr *pipeline.Traversal, part Partition, now int6
 	}
 	c.observeInsert = false // consumed; direct InsertPartition calls never observe
 	return entries, nil
+}
+
+// Remove evicts a connection-dependent entry whose epoch check failed —
+// the conntrack invalidation hook. No-op for an entry not currently
+// installed.
+func (c *Cache) Remove(e *Entry) {
+	if e.table == nil {
+		return
+	}
+	e.table.remove(e)
+	c.stats.CtInvalid++
 }
 
 // Entries returns every entry of table i in unspecified order.

@@ -30,6 +30,12 @@ type Entry struct {
 	TraversalLen int
 	// Version is the pipeline version the entry was validated against.
 	Version uint64
+	// CtConn and CtEpoch tie a connection-dependent entry (one whose
+	// traversal resolved a NAT action) to the connection state it was
+	// built under; CtEpoch zero means connection-independent. The
+	// datapath validates the pair against the conntrack table on hit.
+	CtConn  flow.Key
+	CtEpoch uint64
 
 	Hits    uint64
 	LastHit int64 // virtual time of last hit (or creation)
@@ -49,6 +55,7 @@ type Stats struct {
 	Expired   uint64 `json:"expired"`    // removed by idle timeout
 	Revoked   uint64 `json:"revoked"`    // removed by revalidation
 	RevalWork uint64 `json:"reval_work"` // pipeline table lookups spent revalidating
+	CtInvalid uint64 `json:"ct_invalid"` // removed by conntrack epoch invalidation
 }
 
 // HitRate returns Hits / (Hits+Misses), or 0 when idle.
@@ -211,6 +218,8 @@ func (c *Cache) Insert(tr *pipeline.Traversal, now int64) *Entry {
 		Parent:       tr.Input,
 		TraversalLen: tr.Len(),
 		Version:      tr.Version,
+		CtConn:       tr.CtConn,
+		CtEpoch:      tr.CtEpoch,
 		LastHit:      now,
 		Created:      now,
 	}
@@ -238,6 +247,16 @@ func (c *Cache) Insert(tr *pipeline.Traversal, now int64) *Entry {
 func (c *Cache) removeEntry(ent *Entry) {
 	c.unlink(ent)
 	c.cls.Delete(ent.Match, 0)
+}
+
+// Remove evicts a connection-dependent entry whose epoch check failed —
+// the conntrack invalidation hook. The entry must have come from this
+// cache's Lookup.
+//
+//gf:hotpath-safe conntrack invalidation is a rare cold event on the hit path
+func (c *Cache) Remove(ent *Entry) {
+	c.removeEntry(ent)
+	c.stats.CtInvalid++
 }
 
 // ExpireIdle removes entries whose last hit is older than maxIdle,

@@ -6,6 +6,7 @@ package microflow
 import (
 	"fmt"
 
+	"gigaflow/internal/conntrack"
 	"gigaflow/internal/flow"
 	"gigaflow/internal/flowtable"
 )
@@ -18,6 +19,14 @@ type Entry struct {
 	Verdict flow.Verdict
 	Hits    uint64
 	LastHit int64
+
+	// Ct, CtEpoch, and CtDir tie a conntrack-mode entry to the connection
+	// state it memoized: the entry only serves while the connection still
+	// carries CtEpoch and the packet cannot transition it (the datapath's
+	// fast-path guard). Nil Ct means the result is connection-independent.
+	Ct      *conntrack.Conn
+	CtEpoch uint64
+	CtDir   conntrack.Dir
 
 	prev, next *Entry
 }
@@ -140,6 +149,7 @@ func (b *BatchLookup) Flush() {
 func (c *Cache) Insert(k, final flow.Key, v flow.Verdict, now int64) *Entry {
 	if old, ok := c.entries.Lookup(k); ok {
 		old.Final, old.Verdict, old.LastHit = final, v, now
+		old.Ct, old.CtEpoch, old.CtDir = nil, 0, 0
 		c.touch(old)
 		return old
 	}
@@ -154,6 +164,33 @@ func (c *Cache) Insert(k, final flow.Key, v flow.Verdict, now int64) *Entry {
 	c.pushFront(e)
 	c.stats.Inserts++
 	return e
+}
+
+// InsertCt memoizes a conntrack-mode result bound to connection state:
+// the entry serves only while conn still carries epoch and a packet
+// cannot transition it (the datapath enforces the guard on hit). dir is
+// the memoized packet's direction relative to conn.
+func (c *Cache) InsertCt(k, final flow.Key, v flow.Verdict, now int64,
+	conn *conntrack.Conn, epoch uint64, dir conntrack.Dir) *Entry {
+	e := c.Insert(k, final, v, now)
+	e.Ct, e.CtEpoch, e.CtDir = conn, epoch, dir
+	return e
+}
+
+// Remove drops the entry for exactly k — the conntrack invalidation
+// hook: the datapath calls it when an entry's connection state moved on
+// (epoch mismatch or a possible transition), counting the removal as an
+// invalidation. Reports whether an entry was present.
+//
+//gf:hotpath-safe conntrack invalidation is a rare cold event on the hit path
+func (c *Cache) Remove(k flow.Key) bool {
+	e, ok := c.entries.Lookup(k)
+	if !ok {
+		return false
+	}
+	c.remove(e)
+	c.stats.Invalid++
+	return true
 }
 
 // ExpireIdle removes entries idle for longer than maxIdle. The sweep

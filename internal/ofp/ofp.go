@@ -17,8 +17,14 @@
 //	output(<port>)                      forward and stop
 //	drop                                discard and stop
 //	goto(<table>)                       continue at a table
+//	dnat(<pool>)                        rewrite destination from a NAT pool
+//	snat(<pool>)                        rewrite source from a NAT pool
+//	ct_nat                              apply the connection's NAT binding
 //
 // goto must be the last action and is encoded as the rule's next table.
+// NAT pools referenced by dnat/snat are declared with:
+//
+//	pool <id> <ip>:<port>[,<ip>:<port>...]
 package ofp
 
 import (
@@ -84,6 +90,13 @@ func Load(r io.Reader) (*pipeline.Pipeline, error) {
 				return nil, errf(lineNo, "rule before any table")
 			}
 			if err := parseRule(p, rest, lineNo); err != nil {
+				return nil, err
+			}
+		case "pool":
+			if p == nil {
+				p = pipeline.New("unnamed")
+			}
+			if err := parsePool(p, rest, lineNo); err != nil {
 				return nil, err
 			}
 		default:
@@ -220,6 +233,42 @@ func parseRule(p *pipeline.Pipeline, rest string, line int) error {
 	return nil
 }
 
+// parsePool handles: <id> <ip>:<port>[,<ip>:<port>...]
+func parsePool(p *pipeline.Pipeline, rest string, line int) error {
+	parts := strings.Fields(rest)
+	if len(parts) != 2 {
+		return errf(line, "pool needs: pool <id> <ip>:<port>[,<ip>:<port>...]")
+	}
+	id, err := strconv.ParseUint(parts[0], 10, 16)
+	if err != nil {
+		return errf(line, "bad pool id %q", parts[0])
+	}
+	if p.NATPool(uint16(id)) != nil {
+		return errf(line, "duplicate pool %d", id)
+	}
+	var targets []pipeline.NATTarget
+	for _, item := range strings.Split(parts[1], ",") {
+		ipStr, portStr, ok := strings.Cut(item, ":")
+		if !ok {
+			return errf(line, "bad pool target %q (want ip:port)", item)
+		}
+		ip, err := flow.ParseValue(flow.FieldIPDst, ipStr)
+		if err != nil {
+			return errf(line, "bad pool target ip: %v", err)
+		}
+		port, err := strconv.ParseUint(portStr, 10, 16)
+		if err != nil {
+			return errf(line, "bad pool target port %q", portStr)
+		}
+		targets = append(targets, pipeline.NATTarget{IP: ip, Port: port})
+	}
+	if len(targets) == 0 {
+		return errf(line, "pool %d has no targets", id)
+	}
+	p.SetNATPool(uint16(id), targets)
+	return nil
+}
+
 // cutActions splits "... actions=..." at the top-level actions= key.
 func cutActions(s string) (match, actions string, ok bool) {
 	i := strings.Index(s, "actions=")
@@ -264,6 +313,20 @@ func parseActions(s string, line int) ([]flow.Action, int, error) {
 		switch {
 		case item == "drop":
 			acts = append(acts, flow.Drop())
+		case item == "ct_nat":
+			acts = append(acts, flow.CtNAT())
+		case strings.HasPrefix(item, "dnat(") && strings.HasSuffix(item, ")"):
+			n, err := strconv.ParseUint(item[5:len(item)-1], 10, 16)
+			if err != nil {
+				return nil, 0, errf(line, "bad dnat %q", item)
+			}
+			acts = append(acts, flow.DNAT(uint16(n)))
+		case strings.HasPrefix(item, "snat(") && strings.HasSuffix(item, ")"):
+			n, err := strconv.ParseUint(item[5:len(item)-1], 10, 16)
+			if err != nil {
+				return nil, 0, errf(line, "bad snat %q", item)
+			}
+			acts = append(acts, flow.SNAT(uint16(n)))
 		case strings.HasPrefix(item, "output(") && strings.HasSuffix(item, ")"):
 			n, err := strconv.ParseUint(item[7:len(item)-1], 10, 16)
 			if err != nil {
@@ -331,6 +394,14 @@ func Dump(w io.Writer, p *pipeline.Pipeline) error {
 		}
 		fmt.Fprintln(bw)
 	}
+	for _, id := range p.NATPoolIDs() {
+		targets := make([]string, 0, len(p.NATPool(id)))
+		for _, tg := range p.NATPool(id) {
+			targets = append(targets, fmt.Sprintf("%s:%d",
+				flow.FormatValue(flow.FieldIPDst, tg.IP), tg.Port))
+		}
+		fmt.Fprintf(bw, "pool %d %s\n", id, strings.Join(targets, ","))
+	}
 	for _, t := range tables {
 		for _, r := range t.Rules() {
 			fmt.Fprintf(bw, "rule table=%d priority=%d", t.ID, r.Priority)
@@ -379,6 +450,12 @@ func formatActions(acts []flow.Action, next int) string {
 			parts = append(parts, fmt.Sprintf("output(%d)", a.Value))
 		case flow.ActionDrop:
 			parts = append(parts, "drop")
+		case flow.ActionDNAT:
+			parts = append(parts, fmt.Sprintf("dnat(%d)", a.Value))
+		case flow.ActionSNAT:
+			parts = append(parts, fmt.Sprintf("snat(%d)", a.Value))
+		case flow.ActionCtNAT:
+			parts = append(parts, "ct_nat")
 		}
 	}
 	if next != pipeline.NoTable {

@@ -185,3 +185,71 @@ func TestCommentsAndBlankLines(t *testing.T) {
 		t.Error("comment handling broken")
 	}
 }
+
+const statefulProgram = `
+# A stateful VIP load balancer: ct_state classification, a NAT pool,
+# and the full stateful action set.
+pipeline lb
+table 0 classify fields=eth_type,ip_proto,ip_dst,tp_dst,ct_state miss=drop
+table 1 rewrite fields=ip_dst miss=drop
+table 2 reverse fields=ip_src miss=drop
+
+pool 1 10.20.0.1:8080,10.20.0.2:8080,10.20.0.3:8081
+
+rule table=0 priority=30, eth_type=0x0800, ct_state=0x11/0x31, actions=goto(2)
+rule table=0 priority=20, eth_type=0x0800, ip_dst=10.9.0.1, ct_state=0x01/0x31, actions=goto(1)
+rule table=1 priority=10, actions=dnat(1),output(2)
+rule table=2 priority=10, actions=ct_nat,snat(1),output(1)
+`
+
+// TestNATPoolRoundTrip: pool declarations and the stateful actions
+// (dnat/snat/ct_nat, ct_state matches) survive load -> dump -> load
+// with identical pools and a byte-stable second dump.
+func TestNATPoolRoundTrip(t *testing.T) {
+	orig, err := LoadString(statefulProgram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := orig.NATPool(1)
+	if len(pool) != 3 {
+		t.Fatalf("pool 1 has %d targets", len(pool))
+	}
+	if want := flow.MustParseKey("ip_dst=10.20.0.3").Get(flow.FieldIPDst); pool[2].IP != want || pool[2].Port != 8081 {
+		t.Fatalf("pool target 2 = %+v", pool[2])
+	}
+
+	text := DumpString(orig)
+	re, err := LoadString(text)
+	if err != nil {
+		t.Fatalf("re-load failed: %v\n%s", err, text)
+	}
+	if got := re.NATPool(1); len(got) != len(pool) || got[0] != pool[0] || got[2] != pool[2] {
+		t.Fatalf("pool changed across round trip: %+v vs %+v", got, pool)
+	}
+	if len(re.NATPoolIDs()) != 1 || re.NATPoolIDs()[0] != 1 {
+		t.Fatalf("pool ids = %v", re.NATPoolIDs())
+	}
+
+	// The stateful actions themselves survive: table 1 carries dnat(1),
+	// table 2 carries ct_nat then snat(1).
+	findActions := func(p *pipeline.Pipeline, table int) []flow.Action {
+		for _, r := range p.Table(table).Rules() {
+			return r.Actions
+		}
+		t.Fatalf("table %d has no rules", table)
+		return nil
+	}
+	acts := findActions(re, 1)
+	if len(acts) != 2 || acts[0].Type != flow.ActionDNAT || acts[0].Value != 1 {
+		t.Fatalf("table 1 actions = %+v", acts)
+	}
+	acts = findActions(re, 2)
+	if len(acts) != 3 || acts[0].Type != flow.ActionCtNAT ||
+		acts[1].Type != flow.ActionSNAT || acts[1].Value != 1 {
+		t.Fatalf("table 2 actions = %+v", acts)
+	}
+
+	if DumpString(re) != text {
+		t.Error("dump not round-trip stable")
+	}
+}

@@ -130,6 +130,13 @@ func decodeL4(frame []byte, off int, proto byte, k flow.Key, info Info) (flow.Ke
 		k.Set(flow.FieldTpSrc, uint64(be16(frame[off:])))
 		k.Set(flow.FieldTpDst, uint64(be16(frame[off+2:])))
 		info.HeaderLen = off + 4
+		// The TCP flag byte feeds the conntrack state machine. A header
+		// long enough for the ports but cut before byte 13 keeps the
+		// 4-byte degrade above; flags just stay zero.
+		if proto == IPProtoTCP && len(frame) >= off+14 {
+			info.TCPFlags = frame[off+13]
+			info.HeaderLen = off + 14
+		}
 	case IPProtoICMP:
 		// ICMP type and code ride in the port fields, OVS-style.
 		if len(frame) < off+2 {

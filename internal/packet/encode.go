@@ -30,6 +30,14 @@ func FrameLen(k flow.Key) int {
 // stand up to capture tooling; the TCP/UDP checksum is left zero, the
 // checksum-offload convention real captures exhibit.
 func AppendFrame(buf []byte, k flow.Key) []byte {
+	return AppendFramePayload(buf, k, nil)
+}
+
+// AppendFramePayload is AppendFrame with transport payload bytes carried
+// after the L4 header; the IPv4 total length and the UDP length field
+// account for it. A DNS message as the payload of a UDP key yields the
+// frames the dnslb scenario feeds the datapath.
+func AppendFramePayload(buf []byte, k flow.Key, payload []byte) []byte {
 	buf = appendBE48(buf, k.Get(flow.FieldEthDst))
 	buf = appendBE48(buf, k.Get(flow.FieldEthSrc))
 	ethType := k.Get(flow.FieldEthType)
@@ -51,7 +59,7 @@ func AppendFrame(buf []byte, k flow.Key) []byte {
 
 	ipStart := len(buf)
 	buf = append(buf, 0x45, 0) // version 4, IHL 5, TOS 0
-	buf = appendBE16(buf, uint16(ipv4MinHeader+l4len))
+	buf = appendBE16(buf, uint16(ipv4MinHeader+l4len+len(payload)))
 	buf = append(buf, 0, 0, 0x40, 0) // ID 0, DF, fragment offset 0
 	buf = append(buf, 64, proto, 0, 0)
 	buf = appendBE32(buf, uint32(k.Get(flow.FieldIPSrc)))
@@ -72,7 +80,7 @@ func AppendFrame(buf []byte, k flow.Key) []byte {
 	case IPProtoUDP:
 		buf = appendBE16(buf, tpSrc)
 		buf = appendBE16(buf, tpDst)
-		buf = appendBE16(buf, udpHeaderLen)
+		buf = appendBE16(buf, uint16(udpHeaderLen+len(payload)))
 		buf = append(buf, 0, 0) // checksum 0: legal for IPv4
 	case IPProtoICMP:
 		icmpStart := len(buf)
@@ -81,12 +89,17 @@ func AppendFrame(buf []byte, k flow.Key) []byte {
 		buf[icmpStart+2] = byte(csum >> 8)
 		buf[icmpStart+3] = byte(csum)
 	}
-	return buf
+	return append(buf, payload...)
 }
 
 // Encode is AppendFrame into a fresh, exactly-sized buffer.
 func Encode(k flow.Key) []byte {
 	return AppendFrame(make([]byte, 0, FrameLen(k)), k)
+}
+
+// EncodePayload is AppendFramePayload into a fresh, exactly-sized buffer.
+func EncodePayload(k flow.Key, payload []byte) []byte {
+	return AppendFramePayload(make([]byte, 0, FrameLen(k)+len(payload)), k, payload)
 }
 
 // checksum16 computes the RFC 1071 ones'-complement checksum over b,

@@ -77,3 +77,49 @@ func FuzzDecode(f *testing.F) {
 		}
 	})
 }
+
+// FuzzDecodeDNS drives the DNS question parser with arbitrary payloads.
+// Its contracts: never panic (hostile names, compression-pointer loops,
+// pointers past the message), and anything reported ok satisfies the
+// documented bounds — a name within 255 octets, labels within 63, and a
+// question section the message actually contains. The seed corpus under
+// testdata/fuzz/FuzzDecodeDNS pins a valid query, a pointer-compressed
+// response, and the hostile shapes; `make ci` replays it in regression
+// mode.
+func FuzzDecodeDNS(f *testing.F) {
+	f.Add(AppendDNSQuery(nil, 1, "www.example.com"))
+	f.Add(AppendDNSQuery(nil, 0xffff, "a"))
+	f.Add([]byte{})
+	f.Add([]byte{0, 1, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0, 0xc0, 12})
+	f.Add([]byte{0xbe, 0xef, 0x81, 0x80, 0, 1, 0, 0, 0, 0, 0, 0,
+		3, 'w', 'w', 'w', 0xc0, 22, 0, 1, 0, 1,
+		7, 'e', 'x', 'a', 'm', 'p', 'l', 'e', 3, 'c', 'o', 'm', 0})
+
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		q, ok := DecodeDNS(payload)
+		if !ok {
+			return
+		}
+		if q.nameLen > dnsMaxName {
+			t.Fatalf("name length %d exceeds cap", q.nameLen)
+		}
+		if q.QDCount == 0 {
+			t.Fatal("ok with no question section")
+		}
+		// Every label in the decoded presentation form obeys the label cap.
+		for _, label := range bytes.Split(q.NameBytes(), []byte{'.'}) {
+			if len(label) > dnsMaxLabel {
+				t.Fatalf("label %q exceeds 63 octets", label)
+			}
+		}
+		// Round-trip: re-encoding the decoded question yields a message
+		// that decodes to the same name and type (for plain A/IN queries).
+		if !q.Response && q.QType == DNSTypeA && q.QClass == DNSClassIN && q.nameLen > 0 {
+			re := AppendDNSQuery(nil, q.ID, q.Name())
+			q2, ok2 := DecodeDNS(re)
+			if !ok2 || q2.Name() != q.Name() {
+				t.Fatalf("re-encode of %q failed (%v, %q)", q.Name(), ok2, q2.Name())
+			}
+		}
+	})
+}

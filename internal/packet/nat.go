@@ -1,0 +1,124 @@
+package packet
+
+import "gigaflow/internal/flow"
+
+// locateIPv4 walks the Ethernet header and any stacked VLAN tags and
+// returns the offset of a well-formed IPv4 header, or -1 when the frame
+// is not patchable IPv4 (wrong ethertype, truncated, bad version/IHL).
+func locateIPv4(frame []byte) int {
+	if len(frame) < ethHeaderLen {
+		return -1
+	}
+	ethType := be16(frame[12:])
+	off := ethHeaderLen
+	for tags := 0; tags < maxVLANTags && (ethType == EtherTypeVLAN || ethType == EtherTypeQinQ); tags++ {
+		if len(frame) < off+vlanTagLen {
+			return -1
+		}
+		ethType = be16(frame[off+2:])
+		off += vlanTagLen
+	}
+	if ethType != EtherTypeIPv4 || len(frame) < off+ipv4MinHeader {
+		return -1
+	}
+	verIHL := frame[off]
+	ihl := int(verIHL&0x0f) * 4
+	if verIHL>>4 != 4 || ihl < ipv4MinHeader || len(frame) < off+ihl {
+		return -1
+	}
+	return off
+}
+
+// ckAccum accumulates ones'-complement checksum deltas for RFC 1624
+// incremental updates: for every rewritten 16-bit word m -> m', add
+// ~m + m'. apply() folds the accumulator into an existing checksum.
+type ckAccum uint32
+
+func (a *ckAccum) replace16(old, new uint16) {
+	*a += ckAccum(^old) + ckAccum(new)
+}
+
+func (a ckAccum) apply(ck uint16) uint16 {
+	sum := uint32(^ck) + uint32(a)
+	for sum>>16 != 0 {
+		sum = sum&0xffff + sum>>16
+	}
+	return ^uint16(sum)
+}
+
+func put16(b []byte, v uint16) { b[0] = byte(v >> 8); b[1] = byte(v) }
+func put32(b []byte, v uint32) {
+	b[0] = byte(v >> 24)
+	b[1] = byte(v >> 16)
+	b[2] = byte(v >> 8)
+	b[3] = byte(v)
+}
+
+// PatchTuple rewrites an IPv4 frame's addresses and transport ports in
+// place — the wire half of a NAT action — keeping every checksum valid:
+// the IPv4 header checksum and the TCP/UDP checksum (which covers the
+// pseudo-header) are updated incrementally per RFC 1624, so the payload
+// never needs to be touched. A UDP checksum of zero (not computed) stays
+// zero. Ports are left alone on non-first fragments and on transports
+// without ports; ICMP type/code are not ports and are never rewritten.
+//
+// Returns false — with the frame unmodified — when the frame is not a
+// patchable IPv4 frame.
+func PatchTuple(frame []byte, ipSrc, ipDst uint32, tpSrc, tpDst uint16) bool {
+	ip := locateIPv4(frame)
+	if ip < 0 {
+		return false
+	}
+	ihl := int(frame[ip]&0x0f) * 4
+	proto := frame[ip+9]
+	fragOff := be16(frame[ip+6:]) & 0x1fff
+
+	var ipAcc, l4Acc ckAccum
+	oldSrc, oldDst := uint32(be32(frame[ip+12:])), uint32(be32(frame[ip+16:]))
+	ipAcc.replace16(uint16(oldSrc>>16), uint16(ipSrc>>16))
+	ipAcc.replace16(uint16(oldSrc), uint16(ipSrc))
+	ipAcc.replace16(uint16(oldDst>>16), uint16(ipDst>>16))
+	ipAcc.replace16(uint16(oldDst), uint16(ipDst))
+	l4Acc = ipAcc // the pseudo-header sees the same address rewrites
+	put32(frame[ip+12:], ipSrc)
+	put32(frame[ip+16:], ipDst)
+	put16(frame[ip+10:], ipAcc.apply(be16(frame[ip+10:])))
+
+	l4 := ip + ihl
+	switch proto {
+	case IPProtoTCP:
+		if fragOff != 0 || len(frame) < l4+tcpMinHeader {
+			return true // addresses patched; no reachable transport header
+		}
+		l4Acc.replace16(be16(frame[l4:]), tpSrc)
+		l4Acc.replace16(be16(frame[l4+2:]), tpDst)
+		put16(frame[l4:], tpSrc)
+		put16(frame[l4+2:], tpDst)
+		put16(frame[l4+16:], l4Acc.apply(be16(frame[l4+16:])))
+	case IPProtoUDP:
+		if fragOff != 0 || len(frame) < l4+udpHeaderLen {
+			return true
+		}
+		l4Acc.replace16(be16(frame[l4:]), tpSrc)
+		l4Acc.replace16(be16(frame[l4+2:]), tpDst)
+		put16(frame[l4:], tpSrc)
+		put16(frame[l4+2:], tpDst)
+		if ck := be16(frame[l4+6:]); ck != 0 {
+			nck := l4Acc.apply(ck)
+			if nck == 0 {
+				nck = 0xffff // computed-zero is transmitted as all-ones
+			}
+			put16(frame[l4+6:], nck)
+		}
+	}
+	return true
+}
+
+// PatchFrameNAT rewrites frame's 5-tuple to match key k — the form NAT
+// callers hold after the datapath has rewritten the flow key. Ethernet
+// fields and non-tuple headers are untouched.
+func PatchFrameNAT(frame []byte, k flow.Key) bool {
+	return PatchTuple(frame,
+		uint32(k.Get(flow.FieldIPSrc)), uint32(k.Get(flow.FieldIPDst)),
+		uint16(k.Get(flow.FieldTpSrc)), uint16(k.Get(flow.FieldTpDst)))
+}

@@ -156,7 +156,21 @@ type Info struct {
 	Fragment bool
 	// HeaderLen is the number of frame bytes consumed as headers.
 	HeaderLen int
+	// TCPFlags holds the TCP flag byte (FIN/SYN/RST/PSH/ACK/URG/ECE/CWR)
+	// for TCP frames whose header reaches the flag byte; zero otherwise.
+	// The conntrack state machine keys its transitions off it.
+	TCPFlags uint8
 }
+
+// TCP flag bits as they appear in the header flag byte (and in
+// Info.TCPFlags).
+const (
+	TCPFin uint8 = 1 << iota
+	TCPSyn
+	TCPRst
+	TCPPsh
+	TCPAck
+)
 
 // OK reports whether the frame decoded without defects.
 func (i Info) OK() bool { return i.Err == ErrOK }

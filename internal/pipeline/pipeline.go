@@ -104,10 +104,43 @@ type Pipeline struct {
 	tables map[int]*Table
 	order  []int // table IDs in registration order
 	nextID int64
+	pools  map[uint16][]NATTarget
 
 	// Version increments on every rule mutation; caches use it to detect
 	// staleness during revalidation (§4.3.1).
 	Version uint64
+}
+
+// NATTarget is one concrete rewrite endpoint of a NAT pool.
+type NATTarget struct {
+	IP   uint64 // IPv4 address
+	Port uint64 // transport port
+}
+
+// SetNATPool installs (or replaces) the NAT pool dnat/snat actions name
+// by id. Pools are pipeline configuration like rules: setting one bumps
+// Version, and they serialize through the ofp text format so replicated
+// pipelines carry them.
+func (p *Pipeline) SetNATPool(id uint16, targets []NATTarget) {
+	if p.pools == nil {
+		p.pools = make(map[uint16][]NATTarget)
+	}
+	p.pools[id] = append([]NATTarget(nil), targets...)
+	p.Version++
+}
+
+// NATPool returns the targets of pool id (nil when undefined). Callers
+// must not mutate the returned slice.
+func (p *Pipeline) NATPool(id uint16) []NATTarget { return p.pools[id] }
+
+// NATPoolIDs returns the defined pool IDs in ascending order.
+func (p *Pipeline) NATPoolIDs() []uint16 {
+	out := make([]uint16, 0, len(p.pools))
+	for id := range p.pools {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
 }
 
 // New creates an empty pipeline whose first registered table becomes the

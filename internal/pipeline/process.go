@@ -12,12 +12,83 @@ import (
 // indicates a goto-table loop in the pipeline program.
 var ErrTooManySteps = errors.New("pipeline: traversal exceeded max steps (goto-table loop?)")
 
+// Resolver turns stateful actions (dnat/snat/ct_nat) into the concrete
+// set-field rewrites valid for the packet being traversed. The datapath
+// provides one backed by its conntrack table; traversals run without a
+// resolver (the reference pipeline walk, cache revalidation) treat
+// stateful actions as no-ops, which revalidation then conservatively
+// rejects.
+type Resolver interface {
+	// Resolve maps action a into concrete actions for the current packet
+	// and reports the connection tuple and epoch the resolution depended
+	// on. ok=false means the action cannot be resolved (no connection,
+	// unknown pool) and is skipped.
+	Resolve(a flow.Action) (resolved []flow.Action, conn flow.Key, epoch uint64, ok bool)
+}
+
+// natTupleMask is the 5-tuple a resolved NAT step unwildcards: the
+// rewrite is per-connection, so the composed entry must be exact on the
+// connection's identifying fields.
+var natTupleMask = flow.ExactFields(
+	flow.FieldIPSrc, flow.FieldIPDst, flow.FieldIPProto,
+	flow.FieldTpSrc, flow.FieldTpDst)
+
+// isStateful reports whether a is resolved against connection state.
+func isStateful(a flow.Action) bool {
+	return a.Type == flow.ActionDNAT || a.Type == flow.ActionSNAT || a.Type == flow.ActionCtNAT
+}
+
+// resolveActs rewrites acts replacing stateful actions with their
+// per-connection resolutions. Returns acts unchanged (and dep=false)
+// when nothing needed resolving.
+func resolveActs(acts []flow.Action, res Resolver, tr *Traversal) (out []flow.Action, dep bool) {
+	stateful := false
+	for _, a := range acts {
+		if isStateful(a) {
+			stateful = true
+			break
+		}
+	}
+	if !stateful || res == nil {
+		return acts, false
+	}
+	out = make([]flow.Action, 0, len(acts)+2)
+	for _, a := range acts {
+		if !isStateful(a) {
+			out = append(out, a)
+			continue
+		}
+		r, conn, epoch, ok := res.Resolve(a)
+		if !ok {
+			continue // unresolvable: no-op, like flow.Apply would
+		}
+		out = append(out, r...)
+		dep = true
+		if tr.CtEpoch == 0 {
+			// Record the FIRST resolution's epoch. If a later resolution
+			// in the same traversal advances the connection's epoch (a NAT
+			// binding established mid-walk), the earlier steps resolved
+			// against the pre-bump state; stamping the stale epoch makes
+			// every installed entry fail validation immediately, which is
+			// the conservative direction.
+			tr.CtConn, tr.CtEpoch = conn, epoch
+		}
+	}
+	return out, dep
+}
+
 // Process runs key through the pipeline, producing its traversal. The
 // returned traversal always carries a terminal verdict: a table miss with
 // no configured continuation, or a non-terminal rule with no next table,
 // drops the packet (OpenFlow default semantics).
 func (p *Pipeline) Process(key flow.Key) (*Traversal, error) {
-	tr, err := p.ProcessPartial(p.Start, key, p.MaxSteps)
+	return p.ProcessResolve(key, nil)
+}
+
+// ProcessResolve is Process with a Resolver supplied for stateful
+// actions; the datapath's slow path uses it when conntrack is enabled.
+func (p *Pipeline) ProcessResolve(key flow.Key, res Resolver) (*Traversal, error) {
+	tr, err := p.processPartial(p.Start, key, p.MaxSteps, res)
 	if err != nil {
 		return nil, err
 	}
@@ -34,6 +105,10 @@ func (p *Pipeline) Process(key flow.Key) (*Traversal, error) {
 // revalidator uses this to re-derive a sub-traversal from its table tag
 // (§4.3.1) without replaying the whole pipeline.
 func (p *Pipeline) ProcessPartial(start int, key flow.Key, maxSteps int) (*Traversal, error) {
+	return p.processPartial(start, key, maxSteps, nil)
+}
+
+func (p *Pipeline) processPartial(start int, key flow.Key, maxSteps int, res Resolver) (*Traversal, error) {
 	if start == NoTable || p.tables[start] == nil {
 		return nil, fmt.Errorf("pipeline %s: no start table %d", p.Name, start)
 	}
@@ -60,13 +135,17 @@ func (p *Pipeline) ProcessPartial(start int, key flow.Key, maxSteps int) (*Trave
 		if entry != nil {
 			rule := entry.Value
 			step.Rule = rule
-			step.Acts = rule.Actions
-			k, step.Verdict = flow.Apply(k, rule.Actions)
+			step.Acts, step.CtDep = resolveActs(rule.Actions, res, tr)
 			next = rule.Next
 		} else {
-			step.Acts = t.MissActions
-			k, step.Verdict = flow.Apply(k, t.MissActions)
+			step.Acts, step.CtDep = resolveActs(t.MissActions, res, tr)
 			next = t.MissNext
+		}
+		k, step.Verdict = flow.Apply(k, step.Acts)
+		if step.CtDep {
+			// The resolved rewrite is per-connection: force the composed
+			// entry exact on the connection's identifying fields.
+			step.Wildcard = step.Wildcard.Union(natTupleMask)
 		}
 		step.Post = k
 

@@ -22,10 +22,16 @@ type Step struct {
 	// reflects this step's set-field actions).
 	Pre, Post flow.Key
 	// Acts are the actions executed at this step: the matched rule's
-	// actions, or the table's miss actions on a miss step.
+	// actions, or the table's miss actions on a miss step. When a
+	// stateful action was resolved at this step, Acts holds the resolved
+	// concrete actions, not the rule's originals.
 	Acts []flow.Action
 	// Verdict is the terminal decision made at this step, if any.
 	Verdict flow.Verdict
+	// CtDep marks a step whose actions were resolved against connection
+	// state (a NAT binding): cache entries composed over it are only
+	// valid while that state holds its epoch.
+	CtDep bool
 }
 
 // Actions returns the actions executed at this step.
@@ -58,6 +64,11 @@ type Traversal struct {
 	NextTable int
 	// TuplesProbed is the total TSS tuples probed, for CPU accounting.
 	TuplesProbed int
+	// CtConn and CtEpoch identify the connection state any CtDep steps
+	// were resolved against: the connection's tuple and its epoch at
+	// resolution time. Zero-valued when no step is connection-dependent.
+	CtConn  flow.Key
+	CtEpoch uint64
 }
 
 // Len reports the traversal length N (number of table lookups).
@@ -112,6 +123,18 @@ func (tr *Traversal) SegmentSignature(i, j int) string {
 // significant bits in W_i), the input to the disjointness analysis.
 func (tr *Traversal) StepFields(i int) flow.FieldSet {
 	return tr.Steps[i].Wildcard.Fields()
+}
+
+// SegmentCtDep reports whether any step in [i,j) resolved actions
+// against connection state; entries composed over such a range must
+// record (CtConn, CtEpoch) and be invalidated when the epoch moves.
+func (tr *Traversal) SegmentCtDep(i, j int) bool {
+	for s := i; s < j; s++ {
+		if tr.Steps[s].CtDep {
+			return true
+		}
+	}
+	return false
 }
 
 // Compose flattens Steps[i:j] (j exclusive) into a single cache-rule

@@ -20,11 +20,15 @@ const (
 	TierGigaflow
 	TierMegaflow
 	TierSlowpath
+	// TierConntrack attributes slow-path work forced by connection-state
+	// churn: the packet found a cached entry, but the entry's conntrack
+	// epoch was stale and the traversal had to be replayed.
+	TierConntrack
 	// NumTiers sizes per-tier arrays.
 	NumTiers
 )
 
-var tierNames = [NumTiers]string{"microflow", "gigaflow", "megaflow", "slowpath"}
+var tierNames = [NumTiers]string{"microflow", "gigaflow", "megaflow", "slowpath", "conntrack"}
 
 // String returns the tier's lowercase name, as used in metric labels and
 // JSON documents.

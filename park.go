@@ -39,7 +39,7 @@ func (v *VSwitch) ProcessPark(k Key, now int64) (res ProcessResult, parked bool,
 	if v.tracer != nil {
 		if tb := v.tracer.Start(); tb != nil {
 			v.stats.Packets++
-			r, err := v.processTraced(k, now, tb)
+			r, err := v.processTraced(k, 0, now, tb)
 			return r, false, err
 		}
 	}
@@ -116,7 +116,7 @@ func (v *VSwitch) ProcessBatchPark(keys []Key, out []ProcessResult, errs []error
 		parked[i] = false
 		if v.tracer != nil {
 			if tb := v.tracer.Start(); tb != nil {
-				out[i], errs[i] = v.processTraced(k, now, tb)
+				out[i], errs[i] = v.processTraced(k, 0, now, tb)
 				continue
 			}
 		}

@@ -1,6 +1,6 @@
 // Batched submission: the Request/Batch types and the single internal
 // submit path every public entry point (Submit, SubmitFrame, SubmitBatch,
-// SubmitFrameBatch, Replay, and the deprecated TrySubmit aliases) wraps.
+// SubmitFrameBatch, and Replay) wraps.
 //
 // A batch is scattered by RSS shard into at most one job per worker, so
 // the whole batch crosses each worker channel once — the channel
@@ -23,6 +23,11 @@ import (
 type Request struct {
 	// Key is the flow signature to process.
 	Key gigaflow.Key
+	// Meta is per-packet metadata the datapath consumes outside the key:
+	// today the TCP flag byte, which drives the conntrack state machine
+	// when Config.Conntrack is enabled (and is ignored otherwise). The
+	// frame entry points fill it from the decoder.
+	Meta uint8
 	// Result is the packet's outcome. Blocking submissions fill it in
 	// completely; nonblocking submissions record only the enqueue outcome
 	// in Result.Err (nil, or ErrQueueFull for a dropped packet).
@@ -38,9 +43,10 @@ type Request struct {
 // VSwitch.ProcessBatch, writes res, fans results to resp when set, and
 // signals done.
 type batchJob struct {
-	keys []gigaflow.Key
-	idx  []int    // original request indices, parallel to keys
-	res  []Result // per-key results, parallel to keys
+	keys  []gigaflow.Key
+	metas []uint8  // per-key TCP flag bytes, parallel to keys
+	idx   []int    // original request indices, parallel to keys
+	res   []Result // per-key results, parallel to keys
 
 	done     chan *batchJob // completion signal (nil for fire-and-forget)
 	resp     chan<- Result  // optional per-result fan-out
@@ -83,6 +89,12 @@ func (b *Batch) Add(k gigaflow.Key) {
 	b.reqs = append(b.reqs, Request{Key: k})
 }
 
+// AddMeta appends a request for key k carrying per-packet metadata (the
+// TCP flag byte; see Request.Meta).
+func (b *Batch) AddMeta(k gigaflow.Key, meta uint8) {
+	b.reqs = append(b.reqs, Request{Key: k, Meta: meta})
+}
+
 // addRejected appends a request that is already failed (a refused frame):
 // it carries err and is never submitted to a worker.
 func (b *Batch) addRejected(err error) {
@@ -105,6 +117,7 @@ func (b *Batch) ensureJobs(nw int) {
 	for i := range b.jobs {
 		j := &b.jobs[i]
 		j.keys = j.keys[:0]
+		j.metas = j.metas[:0]
 		j.idx = j.idx[:0]
 		j.done = nil
 		j.resp = nil
@@ -120,6 +133,7 @@ func (b *Batch) ensureJobs(nw int) {
 type submitOpts struct {
 	nonblocking bool
 	resp        chan<- Result
+	meta        uint8
 }
 
 // SubmitOption configures a single submission call. Options transform
@@ -156,6 +170,14 @@ func WithResponse(resp chan<- Result) SubmitOption {
 	return func(o submitOpts) submitOpts { o.resp = resp; return o }
 }
 
+// WithTCPFlags attaches the packet's TCP flag byte to a single-key
+// Submit, feeding the conntrack state machine when Config.Conntrack is
+// enabled (ignored otherwise). SubmitFrame fills it from the decoder
+// automatically; batch submitters use Batch.AddMeta instead.
+func WithTCPFlags(flags uint8) SubmitOption {
+	return func(o submitOpts) submitOpts { o.meta = flags; return o }
+}
+
 // batchPool recycles single-request batches so the Submit wrapper stays
 // allocation-free at steady state.
 var batchPool = sync.Pool{New: func() any { return NewBatch(1) }}
@@ -167,13 +189,18 @@ var batchPool = sync.Pool{New: func() any { return NewBatch(1) }}
 // worker. Errors: ErrNotStarted, ErrClosed, ErrQueueFull (nonblocking),
 // ctx.Err(), or the packet's own pipeline error.
 func (s *Service) Submit(ctx context.Context, k gigaflow.Key, opts ...SubmitOption) (Result, error) {
-	o := applyOpts(opts)
+	return s.submitKey(ctx, k, applyOpts(opts))
+}
+
+// submitKey is the single-key body shared by Submit and SubmitFrame
+// (which injects the decoded TCP flags into o.meta itself).
+func (s *Service) submitKey(ctx context.Context, k gigaflow.Key, o submitOpts) (Result, error) {
 	if o.nonblocking {
-		return Result{}, s.enqueueOne(k, o.resp)
+		return Result{}, s.enqueueOne(k, o.meta, o.resp)
 	}
 	b := batchPool.Get().(*Batch)
 	b.Reset()
-	b.Add(k)
+	b.AddMeta(k, o.meta)
 	err := s.submit(ctx, b, o)
 	r := b.reqs[0].Result
 	batchPool.Put(b)
@@ -246,9 +273,10 @@ func (s *Service) submitBlocking(ctx context.Context, b *Batch, resp chan<- Resu
 		if b.reqs[i].Result.Err != nil {
 			continue // pre-rejected (bad frame): never submitted
 		}
-		w := int(keyShard(b.reqs[i].Key) % uint64(nw))
+		w := int(s.shard(b.reqs[i].Key) % uint64(nw))
 		j := &b.jobs[w]
 		j.keys = append(j.keys, b.reqs[i].Key)
+		j.metas = append(j.metas, b.reqs[i].Meta)
 		j.idx = append(j.idx, i)
 	}
 
@@ -341,13 +369,14 @@ func (s *Service) submitNonblocking(b *Batch, resp chan<- Result) error {
 		if b.reqs[i].Result.Err != nil {
 			continue // pre-rejected (bad frame): never submitted
 		}
-		w := int(keyShard(b.reqs[i].Key) % uint64(nw))
+		w := int(s.shard(b.reqs[i].Key) % uint64(nw))
 		j := perWorker[w]
 		if j == nil {
 			j = &batchJob{resp: resp}
 			perWorker[w] = j
 		}
 		j.keys = append(j.keys, b.reqs[i].Key)
+		j.metas = append(j.metas, b.reqs[i].Meta)
 		j.idx = append(j.idx, i)
 		b.reqs[i].Result = Result{}
 	}
@@ -369,11 +398,11 @@ func (s *Service) submitNonblocking(b *Batch, resp chan<- Result) error {
 }
 
 // enqueueOne is the single-packet nonblocking path: one packet message,
-// no job bookkeeping — the legacy TrySubmit fast path.
-func (s *Service) enqueueOne(k gigaflow.Key, resp chan<- Result) error {
-	w := s.workers[int(keyShard(k)%uint64(len(s.workers)))]
+// no job bookkeeping.
+func (s *Service) enqueueOne(k gigaflow.Key, meta uint8, resp chan<- Result) error {
+	w := s.workers[int(s.shard(k)%uint64(len(s.workers)))]
 	select {
-	case w.in <- packet{key: k, resp: resp}:
+	case w.in <- packet{key: k, meta: meta, resp: resp}:
 		return nil
 	default:
 		w.drops.Add(1)

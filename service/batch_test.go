@@ -108,10 +108,10 @@ func TestSubmitFrameBatchMixed(t *testing.T) {
 	s, ctx := startService(t, 2)
 	good := wire.Encode(wireKey(1, 80))
 	short := []byte{0x02, 0x00, 0x00} // shorter than an Ethernet header
-	frames := [][]byte{good, short, good, short, good}
+	frames := []Frame{{0, good}, {0, short}, {0, good}, {0, short}, {0, good}}
 
 	b := NewBatch(len(frames))
-	if err := s.SubmitFrameBatch(ctx, 0, frames, b); err != nil {
+	if err := s.SubmitFrameBatch(ctx, frames, b); err != nil {
 		t.Fatal(err)
 	}
 	if b.Len() != len(frames) {
@@ -310,20 +310,22 @@ func TestSubmitBatchNonblocking(t *testing.T) {
 	}
 }
 
-// TestDeprecatedAliases: the TrySubmit wrappers keep their contract on
-// top of the consolidated path.
-func TestDeprecatedAliases(t *testing.T) {
+// TestNonblockingSingleSubmit: the nonblocking single-packet path keeps
+// the old TrySubmit contract — fills the queue exactly, then reports
+// ErrQueueFull, and a short frame is a decode rejection.
+func TestNonblockingSingleSubmit(t *testing.T) {
 	s, err := New(buildPipeline(), Config{Workers: 1, QueueDepth: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !s.TrySubmit(key(1, 80), nil) {
-		t.Error("TrySubmit into an empty queue must succeed")
+	ctx := context.Background()
+	if _, err := s.Submit(ctx, key(1, 80), Nonblocking()); err != nil {
+		t.Errorf("Submit into an empty queue = %v", err)
 	}
-	if s.TrySubmit(key(1, 80), nil) {
-		t.Error("TrySubmit into a full queue must fail")
+	if _, err := s.Submit(ctx, key(1, 80), Nonblocking()); !errors.Is(err, ErrQueueFull) {
+		t.Errorf("Submit into a full queue = %v, want ErrQueueFull", err)
 	}
-	if s.TrySubmitFrame(0, []byte{1, 2}, nil) {
-		t.Error("TrySubmitFrame must refuse a short frame")
+	if _, err := s.SubmitFrame(ctx, 0, []byte{1, 2}, Nonblocking()); !errors.Is(err, ErrShortFrame) {
+		t.Errorf("SubmitFrame(short) = %v, want ErrShortFrame", err)
 	}
 }

@@ -22,7 +22,7 @@ func benchService(b testing.TB, flows int, noLatency bool) (*Service, []gigaflow
 		Workers:           1,
 		Cache:             gigaflow.CacheConfig{NumTables: 3, TableCapacity: 3 * 1024},
 		MicroflowCapacity: 4 * flows,
-		NoLatency:         noLatency,
+		Latency:           LatencyConfig{Disable: noLatency},
 	})
 	if err != nil {
 		b.Fatal(err)
@@ -58,7 +58,7 @@ func benchSubmitBatch(b *testing.B) { benchSubmitBatchCfg(b, false) }
 
 // benchSubmitBatchCfg is the batched benchmark body parametrized on
 // latency attribution, so the overhead gate can difference the
-// instrumented datapath against a NoLatency baseline.
+// instrumented datapath against a Latency.Disable baseline.
 func benchSubmitBatchCfg(b *testing.B, noLatency bool) {
 	s, keys := benchService(b, 64, noLatency)
 	ctx := context.Background()
@@ -110,6 +110,123 @@ func TestBatchThroughputGate(t *testing.T) {
 	}
 }
 
+// benchServiceCt builds a warmed 1-worker service over the test
+// pipeline with or without connection tracking, submitting full
+// 5-tuple TCP keys so the tracked side actually runs the conntrack
+// machinery (Track on the miss, the ctServe epoch/transition guard and
+// LRU touch on every hit) rather than short-circuiting as untracked.
+// The pipeline itself is stateless — no ct_state matches, no NAT — so
+// the pair isolates the per-packet cost of tracking itself.
+func benchServiceCt(b testing.TB, flows int, ct bool) (*Service, []gigaflow.Key) {
+	b.Helper()
+	cfg := Config{
+		Workers:           1,
+		Cache:             gigaflow.CacheConfig{NumTables: 3, TableCapacity: 3 * 1024},
+		MicroflowCapacity: 4 * flows,
+		Latency:           LatencyConfig{Disable: true},
+	}
+	if ct {
+		cfg.Conntrack = ConntrackConfig{Enable: true, MaxConns: 4 * flows}
+	}
+	s, err := New(buildPipeline(), cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	if err := s.Start(ctx); err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { s.Close() })
+	keys := make([]gigaflow.Key, flows)
+	for i := range keys {
+		keys[i] = key(uint64(i), 80).
+			With(gigaflow.FieldIPProto, 6).
+			With(gigaflow.FieldIPSrc, 0x0a010000|uint64(i)).
+			With(gigaflow.FieldTpSrc, 1024+uint64(i))
+		if _, err := s.Submit(ctx, keys[i]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return s, keys
+}
+
+// TestConntrackOverheadGate is the stateless-traffic conntrack floor
+// behind `make bench-gate`: a conntrack-enabled service pushing plain
+// TCP flows through a stateless pipeline must stay within 5% of the
+// identical service with tracking disabled, at 0 allocs/op — the
+// per-hit cost of the ctServe guard (one epoch compare, one
+// MayTransition check, one LRU touch) must stay noise-level for users
+// who never write a stateful rule. Same interleaved-slice measurement
+// as TestLatencyOverheadGate; see there for why sequential benchmark
+// blocks cannot resolve a few-percent delta on a shared box. Skipped
+// unless GF_BENCH_GATE=1.
+func TestConntrackOverheadGate(t *testing.T) {
+	if os.Getenv("GF_BENCH_GATE") != "1" {
+		t.Skip("set GF_BENCH_GATE=1 to run the conntrack overhead gate")
+	}
+	const (
+		warmSlices = 32
+		slices     = 256
+		perSlice   = 256
+		reps       = 3
+	)
+	base, keys := benchServiceCt(t, 64, false)
+	ct, ctKeys := benchServiceCt(t, 64, true)
+	baseBatch := NewBatch(DefaultBatchSize)
+	ctBatch := NewBatch(DefaultBatchSize)
+
+	allocs := testing.AllocsPerRun(64, func() {
+		_ = submitSlice(t, ct, ctKeys, ctBatch, 4)
+	})
+	if allocs != 0 {
+		t.Fatalf("conntrack batched submit allocates %.1f allocs per slice, want 0", allocs)
+	}
+
+	pkts := float64(slices * perSlice * DefaultBatchSize)
+	best := math.MaxFloat64
+	var bestBase, bestCt float64
+	for rep := 0; rep < reps; rep++ {
+		var baseTime, ctTime time.Duration
+		for s := 0; s < warmSlices+slices; s++ {
+			var db, dc time.Duration
+			if s%2 == 0 {
+				db = submitSlice(t, base, keys, baseBatch, perSlice)
+				dc = submitSlice(t, ct, ctKeys, ctBatch, perSlice)
+			} else {
+				dc = submitSlice(t, ct, ctKeys, ctBatch, perSlice)
+				db = submitSlice(t, base, keys, baseBatch, perSlice)
+			}
+			if s >= warmSlices {
+				baseTime += db
+				ctTime += dc
+			}
+		}
+		bNs, cNs := float64(baseTime)/pkts, float64(ctTime)/pkts
+		ratio := cNs / bNs
+		t.Logf("rep %d: stateless %.1f ns/pkt, conntrack %.1f ns/pkt (%+.1f%%)",
+			rep, bNs, cNs, (ratio-1)*100)
+		if ratio < best {
+			best, bestBase, bestCt = ratio, bNs, cNs
+		}
+	}
+	// The tracked side must actually have tracked: every warm hit runs
+	// the guard.
+	st, err := ct.Stats(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.CtFastpath == 0 {
+		t.Fatal("conntrack side never hit the ctServe fast path — gate measured nothing")
+	}
+	overhead := best - 1
+	fmt.Printf("bench-gate: conntrack %.1f -> %.1f ns/pkt (%+.1f%%, ceiling +5.0%%), 0 allocs/op\n",
+		bestBase, bestCt, overhead*100)
+	if overhead > 0.05 {
+		t.Fatalf("conntrack costs %.1f%% on stateless traffic (ceiling 5%%): %.1f vs %.1f ns/pkt",
+			overhead*100, bestCt, bestBase)
+	}
+}
+
 // submitSlice pushes n full batches through the service and returns the
 // wall time spent, the gate's unit of measurement.
 func submitSlice(t *testing.T, s *Service, keys []gigaflow.Key, batch *Batch, n int) time.Duration {
@@ -132,7 +249,7 @@ func submitSlice(t *testing.T, s *Service, keys []gigaflow.Key, batch *Batch, n 
 // TestLatencyOverheadGate is the attribution overhead floor behind
 // `make bench-gate`: with latency attribution on (the default), the
 // batched datapath must stay within 5% of the same path built with
-// Config.NoLatency, at 0 allocs/op. Shared-box drift (frequency
+// Config.Latency.Disable, at 0 allocs/op. Shared-box drift (frequency
 // scaling, noisy neighbors) swings this path by ±15% on second
 // timescales — far more than the few-ns true overhead — so two
 // sequential `testing.Benchmark` blocks cannot resolve it. Instead the
@@ -195,7 +312,7 @@ func TestLatencyOverheadGate(t *testing.T) {
 	fmt.Printf("bench-gate: latency attribution %.1f -> %.1f ns/pkt (%+.1f%%, ceiling +5.0%%), 0 allocs/op\n",
 		bestBase, bestInst, overhead*100)
 	if overhead > 0.05 {
-		t.Fatalf("latency attribution costs %.1f%% over the NoLatency baseline (ceiling 5%%): %.1f vs %.1f ns/pkt",
+		t.Fatalf("latency attribution costs %.1f%% over the Latency.Disable baseline (ceiling 5%%): %.1f vs %.1f ns/pkt",
 			overhead*100, bestInst, bestBase)
 	}
 }

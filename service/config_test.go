@@ -1,0 +1,133 @@
+package service
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"gigaflow"
+)
+
+// TestAliasFolding checks the one-release migration contract: a config
+// written entirely against the deprecated flat fields builds the same
+// service as its nested equivalent.
+func TestAliasFolding(t *testing.T) {
+	flat := Config{
+		Workers:       1,
+		Cache:         gigaflow.CacheConfig{NumTables: 3, TableCapacity: 3 * 256},
+		ExpireEvery:   7 * time.Second,
+		MaxIdle:       time.Minute,
+		UpcallWorkers: 2,
+		UpcallQueue:   512,
+		UpcallBatch:   16,
+		NoLatency:     true,
+	}
+	folded, err := flat.foldAliases()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if folded.Expiry.Every != 7*time.Second || folded.Expiry.MaxIdle != time.Minute {
+		t.Errorf("Expiry section not folded: %+v", folded.Expiry)
+	}
+	if folded.Upcall.Workers != 2 || folded.Upcall.Queue != 512 || folded.Upcall.Batch != 16 {
+		t.Errorf("Upcall section not folded: %+v", folded.Upcall)
+	}
+	if !folded.Latency.Disable {
+		t.Error("Latency.Disable not folded")
+	}
+	if folded.ExpireEvery != 0 || folded.MaxIdle != 0 || folded.UpcallWorkers != 0 ||
+		folded.UpcallQueue != 0 || folded.UpcallBatch != 0 || folded.NoLatency {
+		t.Errorf("flat aliases not cleared after folding: %+v", folded)
+	}
+	// The folded config must actually build.
+	if _, err := New(buildPipeline(), flat); err != nil {
+		t.Fatalf("flat-alias config rejected: %v", err)
+	}
+}
+
+// TestAliasConflict: setting a flat field AND its nested replacement is
+// ambiguous and must be rejected, never silently resolved.
+func TestAliasConflict(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"ExpireEvery", Config{ExpireEvery: time.Second, Expiry: ExpiryConfig{Every: time.Second, MaxIdle: time.Minute}}},
+		{"MaxIdle", Config{MaxIdle: time.Second, Expiry: ExpiryConfig{MaxIdle: time.Minute}}},
+		{"UpcallWorkers", Config{UpcallWorkers: 1, Upcall: UpcallConfig{Workers: 2}}},
+		{"NoLatency", Config{NoLatency: true, Latency: LatencyConfig{Disable: true}}},
+		{"FlightRecords", Config{FlightRecords: 8, Latency: LatencyConfig{FlightRecords: 8}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := New(buildPipeline(), tc.cfg)
+			if err == nil || !strings.Contains(err.Error(), "both") {
+				t.Fatalf("err = %v, want both-set conflict", err)
+			}
+			if !strings.Contains(err.Error(), tc.name) {
+				t.Errorf("err %q does not name the conflicting field %s", err, tc.name)
+			}
+		})
+	}
+}
+
+// TestConntrackConfigValidation covers the stateful section's contract.
+func TestConntrackConfigValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+		want string // error substring; "" means valid
+	}{
+		{"enable ok",
+			Config{Conntrack: ConntrackConfig{Enable: true}}, ""},
+		{"negative maxconns",
+			Config{Conntrack: ConntrackConfig{Enable: true, MaxConns: -1}}, "MaxConns"},
+		{"negative ct maxidle",
+			Config{Conntrack: ConntrackConfig{Enable: true, MaxIdle: -time.Second}}, "Conntrack.MaxIdle"},
+		{"knobs without enable",
+			Config{Conntrack: ConntrackConfig{MaxConns: 10}}, "Enable is false"},
+		{"ct excludes upcall offload",
+			Config{Upcall: UpcallConfig{Workers: 1}, Conntrack: ConntrackConfig{Enable: true}},
+			"mutually exclusive"},
+		// Expiry.Every needs something to expire — a ct MaxIdle alone
+		// satisfies it.
+		{"expiry driven by ct idle alone",
+			Config{Expiry: ExpiryConfig{Every: time.Second},
+				Conntrack: ConntrackConfig{Enable: true, MaxIdle: time.Minute}}, ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := New(buildPipeline(), tc.cfg)
+			if tc.want == "" {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("err = %v, want substring %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestConntrackDefaults: enabling conntrack without sizing it gets the
+// documented default budget, split across workers.
+func TestConntrackDefaults(t *testing.T) {
+	s, err := New(buildPipeline(), Config{
+		Workers:   2,
+		Cache:     gigaflow.CacheConfig{NumTables: 3, TableCapacity: 3 * 256},
+		Conntrack: ConntrackConfig{Enable: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.cfg.Conntrack.MaxConns != 65536 {
+		t.Errorf("default Conntrack.MaxConns = %d, want 65536", s.cfg.Conntrack.MaxConns)
+	}
+	for i, w := range s.workers {
+		if w.vs.Conntrack() == nil {
+			t.Fatalf("worker %d has no conntrack table", i)
+		}
+	}
+}

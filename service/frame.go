@@ -25,7 +25,7 @@ type frameMetrics struct {
 func newFrameMetrics(reg *telemetry.Registry) *frameMetrics {
 	m := &frameMetrics{
 		frames: reg.Counter("gigaflow_frames_total",
-			"Wire-format frames submitted through SubmitFrame/TrySubmitFrame."),
+			"Wire-format frames submitted through SubmitFrame/SubmitFrameBatch."),
 		bytes: reg.Counter("gigaflow_frame_bytes_total",
 			"Bytes of wire-format frames submitted."),
 		vlan: reg.Counter("gigaflow_frames_vlan_total",
@@ -66,7 +66,7 @@ func (m *frameMetrics) observe(info wire.Info, n int) {
 
 // DecodeFrame runs the wire-format decoder and the service's frame
 // accounting without submitting the result — the building block
-// SubmitFrame and TrySubmitFrame share, exposed for callers (the
+// SubmitFrame and SubmitFrameBatch share, exposed for callers (the
 // replay engine, tests) that need the key or decode Info themselves.
 //
 //gf:hotpath
@@ -78,7 +78,9 @@ func (s *Service) DecodeFrame(inPort uint16, frame []byte) (gigaflow.Key, wire.I
 
 // SubmitFrame decodes a raw Ethernet frame received on inPort and
 // submits the resulting key with Submit's semantics (blocking by
-// default; the Nonblocking and WithResponse options apply). Frames with
+// default; the Nonblocking and WithResponse options apply). The decoded
+// TCP flag byte rides along as the packet's metadata, so a
+// conntrack-enabled service sees handshakes and closes. Frames with
 // decode defects degrade to the longest well-formed prefix of the key
 // and are still forwarded (the pipeline decides their fate); only a
 // frame too short to carry an Ethernet header is rejected, with
@@ -89,41 +91,39 @@ func (s *Service) SubmitFrame(ctx context.Context, inPort uint16, frame []byte, 
 	if info.Err == wire.ErrShortFrame {
 		return Result{}, ErrShortFrame
 	}
-	return s.Submit(ctx, k, opts...)
+	o := applyOpts(opts)
+	o.meta = info.TCPFlags
+	return s.submitKey(ctx, k, o)
 }
 
-// SubmitFrameBatch decodes frames (all received on inPort) into b —
-// which it Resets first — and submits the decodable ones as a single
-// batch with SubmitBatch's semantics. The batch is index-aligned with
-// frames: request i holds frame i's key and Result. Frames the decoder
-// refuses are never submitted; their requests carry the *FrameError in
-// Result.Err (matching ErrBadFrame and the specific sentinel, e.g.
-// ErrShortFrame), so a mixed batch reports per-index outcomes. Each
-// frame is decoded before the next is read, so the caller may back all
-// of frames with one reused buffer per record (the pcap reader's
-// streaming contract).
-func (s *Service) SubmitFrameBatch(ctx context.Context, inPort uint16, frames [][]byte, b *Batch, opts ...SubmitOption) error {
+// Frame is one entry of a frame batch: a raw Ethernet frame and the
+// ingress port it arrived on. Per-entry ports let one batch carry
+// frames from multiple logical NIC queues without lying about
+// provenance.
+type Frame struct {
+	InPort uint16
+	Data   []byte
+}
+
+// SubmitFrameBatch decodes frames into b — which it Resets first — and
+// submits the decodable ones as a single batch with SubmitBatch's
+// semantics. The batch is index-aligned with frames: request i holds
+// frame i's key and Result. Frames the decoder refuses are never
+// submitted; their requests carry the *FrameError in Result.Err
+// (matching ErrBadFrame and the specific sentinel, e.g. ErrShortFrame),
+// so a mixed batch reports per-index outcomes. Each frame is decoded
+// before the next is read, so the caller may back every entry's Data
+// with one reused buffer per record (the pcap reader's streaming
+// contract).
+func (s *Service) SubmitFrameBatch(ctx context.Context, frames []Frame, b *Batch, opts ...SubmitOption) error {
 	b.Reset()
 	for _, f := range frames {
-		k, info := s.DecodeFrame(inPort, f)
+		k, info := s.DecodeFrame(f.InPort, f.Data)
 		if info.Err == wire.ErrShortFrame {
 			b.addRejected(&FrameError{Code: info.Err})
 			continue
 		}
-		b.Add(k)
+		b.AddMeta(k, info.TCPFlags)
 	}
 	return s.SubmitBatch(ctx, b, opts...)
-}
-
-// TrySubmitFrame is the non-blocking twin of SubmitFrame: it decodes
-// and enqueues without waiting, reporting false when the target
-// worker's queue is full (counted as a queue-full drop) or the frame
-// is too short to decode (counted as a decode error). resp follows the
-// TrySubmit contract.
-//
-// Deprecated: use SubmitFrame with the Nonblocking option (and
-// WithResponse for the result channel).
-func (s *Service) TrySubmitFrame(inPort uint16, frame []byte, resp chan<- Result) bool {
-	_, err := s.SubmitFrame(context.Background(), inPort, frame, Nonblocking(), WithResponse(resp))
-	return err == nil
 }

@@ -119,12 +119,12 @@ func TestFrameTelemetryCounters(t *testing.T) {
 	}
 }
 
-// TestTrySubmitDropAccounting fills a worker queue on purpose (the
+// TestNonblockingDropAccounting fills a worker queue on purpose (the
 // service is built but never started, so nothing drains) and checks the
 // overload contract: accepted packets fit the queue exactly, rejections
 // increment the drop counter, nothing deadlocks, and no Result is ever
 // delivered for a rejected packet.
-func TestTrySubmitDropAccounting(t *testing.T) {
+func TestNonblockingDropAccounting(t *testing.T) {
 	const depth = 4
 	s, err := New(buildPipeline(), Config{
 		Workers:    1,
@@ -139,7 +139,7 @@ func TestTrySubmitDropAccounting(t *testing.T) {
 	resp := make(chan Result, offered)
 	accepted := 0
 	for i := 0; i < offered; i++ {
-		if s.TrySubmit(key(1, 80), resp) {
+		if _, err := s.Submit(context.Background(), key(1, 80), Nonblocking(), WithResponse(resp)); err == nil {
 			accepted++
 		}
 	}
@@ -153,7 +153,7 @@ func TestTrySubmitDropAccounting(t *testing.T) {
 	// The drop counter surfaces in the registry.
 	s.collectServiceMetrics()
 	drops := s.reg.CounterVec("gigaflow_queue_full_drops_total",
-		"TrySubmit packets dropped because the worker queue was full.", "worker")
+		"Nonblocking submissions dropped because the worker queue was full.", "worker")
 	if got := drops.With("0").Value(); got != offered-depth {
 		t.Fatalf("registry drops = %d, want %d", got, offered-depth)
 	}
@@ -182,10 +182,10 @@ func TestTrySubmitDropAccounting(t *testing.T) {
 	}
 }
 
-// TestTrySubmitFrameDropAccounting exercises the same overload path
+// TestNonblockingFrameDropAccounting exercises the same overload path
 // through the byte-level frontend, including the short-frame rejection
 // (which must not count as a queue drop).
-func TestTrySubmitFrameDropAccounting(t *testing.T) {
+func TestNonblockingFrameDropAccounting(t *testing.T) {
 	const depth = 2
 	s, err := New(buildPipeline(), Config{
 		Workers:    1,
@@ -199,7 +199,7 @@ func TestTrySubmitFrameDropAccounting(t *testing.T) {
 	resp := make(chan Result, depth)
 	accepted, rejected := 0, 0
 	for i := 0; i < depth+3; i++ {
-		if s.TrySubmitFrame(0, frame, resp) {
+		if _, err := s.SubmitFrame(context.Background(), 0, frame, Nonblocking(), WithResponse(resp)); err == nil {
 			accepted++
 		} else {
 			rejected++
@@ -212,7 +212,7 @@ func TestTrySubmitFrameDropAccounting(t *testing.T) {
 		t.Fatalf("queue drops = %d, want 3", got)
 	}
 	// Short frames are decode rejections, not queue drops.
-	if s.TrySubmitFrame(0, frame[:5], resp) {
+	if _, err := s.SubmitFrame(context.Background(), 0, frame[:5], Nonblocking(), WithResponse(resp)); err == nil {
 		t.Fatal("short frame accepted")
 	}
 	if got := s.workers[0].drops.Load(); got != 3 {
@@ -318,6 +318,37 @@ func TestShareOf(t *testing.T) {
 			if got := shareOf(tc.total, tc.n, i); got != want {
 				t.Errorf("shareOf(%d,%d,%d) = %d, want %d", tc.total, tc.n, i, got, want)
 			}
+		}
+	}
+}
+
+// TestSubmitFrameBatchPerFramePorts: each Frame entry carries its own
+// ingress port, and the decoded key for entry i must carry exactly
+// frames[i].InPort — one batch can span multiple NIC queues without
+// collapsing provenance onto a single port.
+func TestSubmitFrameBatchPerFramePorts(t *testing.T) {
+	s, ctx := startService(t, 2)
+	raw := wire.Encode(wireKey(1, 80))
+	frames := []Frame{
+		{InPort: 0, Data: raw},
+		{InPort: 3, Data: raw},
+		{InPort: 7, Data: raw},
+		{InPort: 3, Data: raw},
+		{InPort: 65535, Data: raw},
+	}
+	b := NewBatch(len(frames))
+	if err := s.SubmitFrameBatch(ctx, frames, b); err != nil {
+		t.Fatal(err)
+	}
+	for i, f := range frames {
+		if err := b.Result(i).Err; err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if got := b.Request(i).Key.Get(gigaflow.FieldInPort); got != uint64(f.InPort) {
+			t.Errorf("frame %d: decoded in_port %d, want %d", i, got, f.InPort)
+		}
+		if b.Result(i).Verdict.Port != 1 {
+			t.Errorf("frame %d: verdict %+v", i, b.Result(i).Verdict)
 		}
 	}
 }

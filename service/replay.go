@@ -179,7 +179,7 @@ func (s *Service) Replay(ctx context.Context, r *pcap.Reader, cfg ReplayConfig) 
 		if info.Err != wire.ErrOK {
 			rep.DecodeErrors++
 		}
-		batch.Add(k)
+		batch.AddMeta(k, info.TCPFlags)
 		if batch.Len() >= cfg.BatchSize {
 			if err := flush(); err != nil {
 				return rep, err
@@ -219,5 +219,8 @@ func statsDelta(before, after gigaflow.VSwitchStats) gigaflow.VSwitchStats {
 		Slowpath:      after.Slowpath - before.Slowpath,
 		Installs:      after.Installs - before.Installs,
 		InstallErrs:   after.InstallErrs - before.InstallErrs,
+		CtFastpath:    after.CtFastpath - before.CtFastpath,
+		CtGuardFails:  after.CtGuardFails - before.CtGuardFails,
+		CtInvalidated: after.CtInvalidated - before.CtInvalidated,
 	}
 }

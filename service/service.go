@@ -46,7 +46,170 @@ func (b Backend) String() string {
 	return "gigaflow"
 }
 
-// Config parameterises a Service.
+// ExpiryConfig configures the periodic idle sweep (one section of Config).
+type ExpiryConfig struct {
+	// Every triggers idle-entry sweeps at this interval (default 500ms;
+	// requires MaxIdle, or an enabled Conntrack section with its own
+	// MaxIdle, so the sweep has something to evict).
+	Every time.Duration
+	// MaxIdle expires cache entries idle longer than this (0 disables
+	// cache-entry expiry).
+	MaxIdle time.Duration
+}
+
+func (c ExpiryConfig) validate() error {
+	if c.MaxIdle < 0 {
+		return fmt.Errorf("service: negative Expiry.MaxIdle (%v)", c.MaxIdle)
+	}
+	if c.Every < 0 {
+		return fmt.Errorf("service: negative Expiry.Every (%v)", c.Every)
+	}
+	return nil
+}
+
+func (c ExpiryConfig) withDefaults() ExpiryConfig {
+	if c.Every == 0 {
+		c.Every = 500 * time.Millisecond
+	}
+	return c
+}
+
+// UpcallConfig configures the asynchronous slow-path offload (one
+// section of Config).
+type UpcallConfig struct {
+	// Workers enables the offload with this many engine goroutines (0,
+	// the default, keeps misses inline). With the offload on, a
+	// main-cache miss parks the packet and enqueues an upcall instead of
+	// blocking the worker on the pipeline traversal; concurrent misses
+	// of the same flow coalesce onto one traversal, and parked packets
+	// are released in arrival order per flow, so results and stats are
+	// indistinguishable from inline processing.
+	Workers int
+	// Queue bounds the shared miss queue (default 1024). A fresh miss
+	// that finds it full is handled per Overflow; packets of
+	// already-pending flows never touch the queue.
+	Queue int
+	// Batch bounds how many queued misses an engine goroutine drains per
+	// wakeup, batching traversals and rule installs (default
+	// DefaultBatchSize).
+	Batch int
+	// Overflow selects the full-queue policy: OverflowInline (default)
+	// traverses on the worker, OverflowDrop fails the packet with
+	// ErrUpcallOverflow.
+	Overflow OverflowPolicy
+}
+
+func (c UpcallConfig) validate() error {
+	if c.Workers < 0 {
+		return fmt.Errorf("service: negative Upcall.Workers (%d)", c.Workers)
+	}
+	if c.Queue < 0 {
+		return fmt.Errorf("service: negative Upcall.Queue (%d)", c.Queue)
+	}
+	if c.Batch < 0 {
+		return fmt.Errorf("service: negative Upcall.Batch (%d)", c.Batch)
+	}
+	switch c.Overflow {
+	case OverflowInline, OverflowDrop:
+	default:
+		return fmt.Errorf("service: unknown Upcall.Overflow (%d)", c.Overflow)
+	}
+	if c.Workers == 0 &&
+		(c.Queue != 0 || c.Batch != 0 || c.Overflow != OverflowInline) {
+		return errors.New("service: upcall knobs set but Upcall.Workers is 0 (offload disabled)")
+	}
+	return nil
+}
+
+func (c UpcallConfig) withDefaults() UpcallConfig {
+	if c.Workers > 0 {
+		if c.Queue <= 0 {
+			c.Queue = 1024
+		}
+		if c.Batch <= 0 {
+			c.Batch = DefaultBatchSize
+		}
+	}
+	return c
+}
+
+// LatencyConfig configures the per-worker latency attribution layer (one
+// section of Config).
+type LatencyConfig struct {
+	// Disable turns off attribution (per-tier nanosecond histograms and
+	// the flight-recorder ring, served on /latency and /debug/flight).
+	// Attribution is on by default: its hot path adds two clock reads
+	// per batch and plain stores per packet.
+	Disable bool
+	// FlightRecords sizes each worker's flight-recorder ring, rounded up
+	// to a power of two (default 4096).
+	FlightRecords int
+	// Spike, when set, snapshots a worker's flight ring whenever a
+	// packet's latency meets or exceeds it, so a tail spike comes with
+	// the events that surrounded it (0 disables spike captures).
+	Spike time.Duration
+}
+
+func (c LatencyConfig) validate() error {
+	if c.FlightRecords < 0 {
+		return fmt.Errorf("service: negative Latency.FlightRecords (%d)", c.FlightRecords)
+	}
+	if c.Spike < 0 {
+		return fmt.Errorf("service: negative Latency.Spike (%v)", c.Spike)
+	}
+	if c.Disable && (c.FlightRecords != 0 || c.Spike != 0) {
+		return errors.New("service: Latency.FlightRecords/Spike set but Latency.Disable turns attribution off")
+	}
+	return nil
+}
+
+// ConntrackConfig configures connection tracking (one section of
+// Config). With Enable set, every worker runs a conntrack table in front
+// of its pipeline: ct_state bits are folded into the key the caches and
+// slowpath match on, and stateful NAT actions (dnat/snat/ct_nat) resolve
+// against per-connection bindings. Flows are then sharded symmetrically —
+// both directions of a 5-tuple land on the same worker, so its private
+// table sees the whole conversation. NAT rewrites change the reply
+// tuple, which symmetric sharding cannot follow across workers: run NAT
+// pipelines with Workers=1 (or an external affinity scheme) when replies
+// must be tracked.
+type ConntrackConfig struct {
+	// Enable turns connection tracking on.
+	Enable bool
+	// MaxConns is the TOTAL live-connection budget, divided across
+	// workers like the cache budgets (default 65536; only meaningful
+	// with Enable). Under pressure the least recently seen connection is
+	// evicted.
+	MaxConns int
+	// MaxIdle expires connections idle longer than this on the Expiry
+	// sweep (0 keeps connections forever). Expired connections are
+	// epoch-poisoned, so cache entries that depended on them die lazily.
+	MaxIdle time.Duration
+}
+
+func (c ConntrackConfig) validate() error {
+	if c.MaxConns < 0 {
+		return fmt.Errorf("service: negative Conntrack.MaxConns (%d)", c.MaxConns)
+	}
+	if c.MaxIdle < 0 {
+		return fmt.Errorf("service: negative Conntrack.MaxIdle (%v)", c.MaxIdle)
+	}
+	if !c.Enable && (c.MaxConns != 0 || c.MaxIdle != 0) {
+		return errors.New("service: conntrack knobs set but Conntrack.Enable is false")
+	}
+	return nil
+}
+
+func (c ConntrackConfig) withDefaults() ConntrackConfig {
+	if c.Enable && c.MaxConns <= 0 {
+		c.MaxConns = 65536
+	}
+	return c
+}
+
+// Config parameterises a Service. Cross-cutting knobs are top-level;
+// subsystem knobs live in the nested sections (Expiry, Upcall, Latency,
+// Conntrack), each with its own defaults and validation.
 type Config struct {
 	// Workers is the number of forwarding workers (default 1). The cache
 	// budget is split evenly between them.
@@ -64,34 +227,19 @@ type Config struct {
 	// exact-match Microflow tier; the TOTAL budget is divided across
 	// workers (0 disables the tier).
 	MicroflowCapacity int
-	// ExpireEvery triggers idle-entry sweeps (default 500ms; requires
-	// MaxIdle).
-	ExpireEvery time.Duration
-	// MaxIdle expires entries idle longer than this (0 disables expiry).
-	MaxIdle time.Duration
 	// QueueDepth is each worker's input queue length (default 1024).
 	QueueDepth int
 
-	// UpcallWorkers enables the asynchronous slow-path offload with this
-	// many engine goroutines (0, the default, keeps misses inline). With
-	// the offload on, a main-cache miss parks the packet and enqueues an
-	// upcall instead of blocking the worker on the pipeline traversal;
-	// concurrent misses of the same flow coalesce onto one traversal,
-	// and parked packets are released in arrival order per flow, so
-	// results and stats are indistinguishable from inline processing.
-	UpcallWorkers int
-	// UpcallQueue bounds the shared miss queue (default 1024). A fresh
-	// miss that finds it full is handled per UpcallOverflow; packets of
-	// already-pending flows never touch the queue.
-	UpcallQueue int
-	// UpcallBatch bounds how many queued misses an engine goroutine
-	// drains per wakeup, batching traversals and rule installs (default
-	// DefaultBatchSize).
-	UpcallBatch int
-	// UpcallOverflow selects the full-queue policy: OverflowInline
-	// (default) traverses on the worker, OverflowDrop fails the packet
-	// with ErrUpcallOverflow.
-	UpcallOverflow OverflowPolicy
+	// Expiry configures the periodic idle sweep.
+	Expiry ExpiryConfig
+	// Upcall configures the asynchronous slow-path offload. Mutually
+	// exclusive with Conntrack.Enable: the offload's parked slowpath is
+	// stateless.
+	Upcall UpcallConfig
+	// Latency configures the latency attribution layer.
+	Latency LatencyConfig
+	// Conntrack configures connection tracking.
+	Conntrack ConntrackConfig
 
 	// TelemetryAddr, when non-empty, serves the introspection endpoints
 	// (/metrics, /traces, /cache, /debug/pprof, /debug/vars) on this
@@ -105,22 +253,72 @@ type Config struct {
 	// TraceBuffer bounds the ring of retained traces (default 256).
 	TraceBuffer int
 
-	// NoLatency disables the per-worker latency attribution layer (per-tier
-	// nanosecond histograms and the flight-recorder ring, served on
-	// /latency and /debug/flight). Attribution is on by default: its hot
-	// path adds two clock reads per batch and plain stores per packet.
+	// Deprecated: use Expiry.Every. Folded into the section when the
+	// section field is unset; setting both is a configuration error.
+	ExpireEvery time.Duration
+	// Deprecated: use Expiry.MaxIdle.
+	MaxIdle time.Duration
+	// Deprecated: use Upcall.Workers.
+	UpcallWorkers int
+	// Deprecated: use Upcall.Queue.
+	UpcallQueue int
+	// Deprecated: use Upcall.Batch.
+	UpcallBatch int
+	// Deprecated: use Upcall.Overflow.
+	UpcallOverflow OverflowPolicy
+	// Deprecated: use Latency.Disable.
 	NoLatency bool
-	// FlightRecords sizes each worker's flight-recorder ring, rounded up
-	// to a power of two (default 4096).
+	// Deprecated: use Latency.FlightRecords.
 	FlightRecords int
-	// LatencySpike, when set, snapshots a worker's flight ring whenever a
-	// packet's latency meets or exceeds it, so a tail spike comes with the
-	// events that surrounded it (0 disables spike captures).
+	// Deprecated: use Latency.Spike.
 	LatencySpike time.Duration
 }
 
+// foldAliases migrates the deprecated flat fields into their sections so
+// the rest of the service reads only the nested form. A flat field whose
+// section counterpart is also set is a conflict, not a tiebreak.
+func (c Config) foldAliases() (Config, error) {
+	type alias struct {
+		name    string
+		set     bool // flat field set
+		both    bool // section field also set
+		migrate func(*Config)
+	}
+	aliases := []alias{
+		{"ExpireEvery/Expiry.Every", c.ExpireEvery != 0, c.Expiry.Every != 0,
+			func(c *Config) { c.Expiry.Every = c.ExpireEvery; c.ExpireEvery = 0 }},
+		{"MaxIdle/Expiry.MaxIdle", c.MaxIdle != 0, c.Expiry.MaxIdle != 0,
+			func(c *Config) { c.Expiry.MaxIdle = c.MaxIdle; c.MaxIdle = 0 }},
+		{"UpcallWorkers/Upcall.Workers", c.UpcallWorkers != 0, c.Upcall.Workers != 0,
+			func(c *Config) { c.Upcall.Workers = c.UpcallWorkers; c.UpcallWorkers = 0 }},
+		{"UpcallQueue/Upcall.Queue", c.UpcallQueue != 0, c.Upcall.Queue != 0,
+			func(c *Config) { c.Upcall.Queue = c.UpcallQueue; c.UpcallQueue = 0 }},
+		{"UpcallBatch/Upcall.Batch", c.UpcallBatch != 0, c.Upcall.Batch != 0,
+			func(c *Config) { c.Upcall.Batch = c.UpcallBatch; c.UpcallBatch = 0 }},
+		{"UpcallOverflow/Upcall.Overflow", c.UpcallOverflow != OverflowInline, c.Upcall.Overflow != OverflowInline,
+			func(c *Config) { c.Upcall.Overflow = c.UpcallOverflow; c.UpcallOverflow = OverflowInline }},
+		{"NoLatency/Latency.Disable", c.NoLatency, c.Latency.Disable,
+			func(c *Config) { c.Latency.Disable = c.NoLatency; c.NoLatency = false }},
+		{"FlightRecords/Latency.FlightRecords", c.FlightRecords != 0, c.Latency.FlightRecords != 0,
+			func(c *Config) { c.Latency.FlightRecords = c.FlightRecords; c.FlightRecords = 0 }},
+		{"LatencySpike/Latency.Spike", c.LatencySpike != 0, c.Latency.Spike != 0,
+			func(c *Config) { c.Latency.Spike = c.LatencySpike; c.LatencySpike = 0 }},
+	}
+	for _, a := range aliases {
+		if !a.set {
+			continue
+		}
+		if a.both {
+			return c, fmt.Errorf("service: both %s set (drop the deprecated flat field)", a.name)
+		}
+		a.migrate(&c)
+	}
+	return c, nil
+}
+
 // validate rejects nonsensical configurations instead of silently
-// papering over them with defaults.
+// papering over them with defaults. It runs on the folded config, so all
+// checks read the nested sections.
 func (c Config) validate() error {
 	if c.Workers < 0 {
 		return fmt.Errorf("service: negative Workers (%d)", c.Workers)
@@ -128,47 +326,30 @@ func (c Config) validate() error {
 	if c.QueueDepth < 0 {
 		return fmt.Errorf("service: negative QueueDepth (%d)", c.QueueDepth)
 	}
-	if c.MaxIdle < 0 {
-		return fmt.Errorf("service: negative MaxIdle (%v)", c.MaxIdle)
-	}
-	if c.ExpireEvery < 0 {
-		return fmt.Errorf("service: negative ExpireEvery (%v)", c.ExpireEvery)
-	}
-	if c.ExpireEvery > 0 && c.MaxIdle == 0 {
-		return errors.New("service: ExpireEvery set but MaxIdle is 0 (expiry would never evict)")
-	}
 	if c.MicroflowCapacity < 0 {
 		return fmt.Errorf("service: negative MicroflowCapacity (%d)", c.MicroflowCapacity)
 	}
 	if c.TraceSample < 0 {
 		return fmt.Errorf("service: negative TraceSample (%d)", c.TraceSample)
 	}
-	if c.FlightRecords < 0 {
-		return fmt.Errorf("service: negative FlightRecords (%d)", c.FlightRecords)
+	if err := c.Expiry.validate(); err != nil {
+		return err
 	}
-	if c.LatencySpike < 0 {
-		return fmt.Errorf("service: negative LatencySpike (%v)", c.LatencySpike)
+	if err := c.Upcall.validate(); err != nil {
+		return err
 	}
-	if c.NoLatency && (c.FlightRecords != 0 || c.LatencySpike != 0) {
-		return errors.New("service: FlightRecords/LatencySpike set but NoLatency disables attribution")
+	if err := c.Latency.validate(); err != nil {
+		return err
 	}
-	if c.UpcallWorkers < 0 {
-		return fmt.Errorf("service: negative UpcallWorkers (%d)", c.UpcallWorkers)
+	if err := c.Conntrack.validate(); err != nil {
+		return err
 	}
-	if c.UpcallQueue < 0 {
-		return fmt.Errorf("service: negative UpcallQueue (%d)", c.UpcallQueue)
+	if c.Expiry.Every > 0 && c.Expiry.MaxIdle == 0 &&
+		!(c.Conntrack.Enable && c.Conntrack.MaxIdle > 0) {
+		return errors.New("service: Expiry.Every set but MaxIdle is 0 (expiry would never evict)")
 	}
-	if c.UpcallBatch < 0 {
-		return fmt.Errorf("service: negative UpcallBatch (%d)", c.UpcallBatch)
-	}
-	switch c.UpcallOverflow {
-	case OverflowInline, OverflowDrop:
-	default:
-		return fmt.Errorf("service: unknown UpcallOverflow (%d)", c.UpcallOverflow)
-	}
-	if c.UpcallWorkers == 0 &&
-		(c.UpcallQueue != 0 || c.UpcallBatch != 0 || c.UpcallOverflow != OverflowInline) {
-		return errors.New("service: upcall knobs set but UpcallWorkers is 0 (offload disabled)")
+	if c.Conntrack.Enable && c.Upcall.Workers > 0 {
+		return errors.New("service: Conntrack and the Upcall offload are mutually exclusive (the parked slowpath is stateless)")
 	}
 	switch c.Backend {
 	case BackendGigaflow:
@@ -196,9 +377,6 @@ func (c Config) withDefaults() Config {
 	if c.Workers <= 0 {
 		c.Workers = 1
 	}
-	if c.ExpireEvery == 0 {
-		c.ExpireEvery = 500 * time.Millisecond
-	}
 	if c.QueueDepth <= 0 {
 		c.QueueDepth = 1024
 	}
@@ -218,14 +396,9 @@ func (c Config) withDefaults() Config {
 	if c.TraceBuffer <= 0 {
 		c.TraceBuffer = 256
 	}
-	if c.UpcallWorkers > 0 {
-		if c.UpcallQueue <= 0 {
-			c.UpcallQueue = 1024
-		}
-		if c.UpcallBatch <= 0 {
-			c.UpcallBatch = DefaultBatchSize
-		}
-	}
+	c.Expiry = c.Expiry.withDefaults()
+	c.Upcall = c.Upcall.withDefaults()
+	c.Conntrack = c.Conntrack.withDefaults()
 	return c
 }
 
@@ -244,6 +417,7 @@ type Result struct {
 // a group of engine-completed upcalls to apply (async offload mode).
 type packet struct {
 	key     gigaflow.Key
+	meta    uint8 // TCP flag byte for the conntrack state machine
 	resp    chan<- Result
 	job     *batchJob
 	control func()
@@ -253,7 +427,7 @@ type packet struct {
 // worker owns one pipeline replica and one cache shard.
 type worker struct {
 	vs    *gigaflow.VSwitch
-	rec   *telemetry.LatencyRecorder // nil when Config.NoLatency
+	rec   *telemetry.LatencyRecorder // nil when Config.Latency.Disable
 	in    chan packet
 	label string // worker index, precomputed for metric labels
 
@@ -266,7 +440,7 @@ type worker struct {
 	drops atomic.Uint64 // nonblocking rejections due to a full queue
 	skips atomic.Uint64 // expiry sweeps skipped due to a full queue
 
-	// Asynchronous offload state (Config.UpcallWorkers > 0). pending and
+	// Asynchronous offload state (Config.Upcall.Workers > 0). pending and
 	// the counters below belong to the worker goroutine; slowMu is the
 	// one lock shared with the engine, taken only around pipeline
 	// traversals and rule mutations — never on the cache-hit path.
@@ -296,8 +470,11 @@ const (
 type Service struct {
 	cfg     Config
 	workers []*worker
+	// symShard: conntrack mode shards flows symmetrically so both
+	// directions of a connection land on one worker's private table.
+	symShard bool
 
-	// Asynchronous offload (Config.UpcallWorkers > 0): the shared miss
+	// Asynchronous offload (Config.Upcall.Workers > 0): the shared miss
 	// queue and the engine draining it. Nil when running synchronously.
 	upq *upcall.Queue[parked]
 	eng *upcall.Engine[parked]
@@ -322,15 +499,20 @@ type Service struct {
 // be retained or discarded freely by the caller; post-start rule changes
 // must go through UpdateRules.
 func New(p *gigaflow.Pipeline, cfg Config) (*Service, error) {
+	cfg, err := cfg.foldAliases()
+	if err != nil {
+		return nil, err
+	}
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
 	cfg = cfg.withDefaults()
 	s := &Service{
-		cfg:    cfg,
-		reg:    telemetry.NewRegistry(),
-		tracer: telemetry.NewTracer(cfg.TraceSample, cfg.TraceBuffer),
-		term:   make(chan struct{}),
+		cfg:      cfg,
+		symShard: cfg.Conntrack.Enable,
+		reg:      telemetry.NewRegistry(),
+		tracer:   telemetry.NewTracer(cfg.TraceSample, cfg.TraceBuffer),
+		term:     make(chan struct{}),
 	}
 	s.latency = s.reg.Histogram("gigaflow_submit_latency_ns",
 		"End-to-end Submit latency (enqueue to result) in nanoseconds.")
@@ -347,8 +529,14 @@ func New(p *gigaflow.Pipeline, cfg Config) (*Service, error) {
 		}
 		replica.SetStart(p.Start)
 		opts := []gigaflow.VSwitchOption{gigaflow.WithTracer(s.tracer)}
-		if cfg.MaxIdle > 0 {
-			opts = append(opts, gigaflow.WithMaxIdle(cfg.MaxIdle.Nanoseconds()))
+		if cfg.Expiry.MaxIdle > 0 {
+			opts = append(opts, gigaflow.WithMaxIdle(cfg.Expiry.MaxIdle.Nanoseconds()))
+		}
+		if cfg.Conntrack.Enable {
+			opts = append(opts, gigaflow.WithConntrack(shareOf(cfg.Conntrack.MaxConns, cfg.Workers, i)))
+			if cfg.Conntrack.MaxIdle > 0 {
+				opts = append(opts, gigaflow.WithConntrackMaxIdle(cfg.Conntrack.MaxIdle.Nanoseconds()))
+			}
 		}
 		perWorker := cfg.Cache
 		perWorker.TableCapacity = shareOf(cfg.Cache.TableCapacity, cfg.Workers, i)
@@ -362,10 +550,10 @@ func New(p *gigaflow.Pipeline, cfg Config) (*Service, error) {
 			opts = append(opts, gigaflow.WithMicroflow(shareOf(cfg.MicroflowCapacity, cfg.Workers, i)))
 		}
 		var rec *telemetry.LatencyRecorder
-		if !cfg.NoLatency {
+		if !cfg.Latency.Disable {
 			// One recorder per worker: like the VSwitch it instruments, its
 			// state is single-writer and lives on the worker goroutine.
-			rec = telemetry.NewLatencyRecorder(cfg.FlightRecords, cfg.LatencySpike)
+			rec = telemetry.NewLatencyRecorder(cfg.Latency.FlightRecords, cfg.Latency.Spike)
 			opts = append(opts, gigaflow.WithLatencyRecorder(rec))
 		}
 		w := &worker{
@@ -373,10 +561,10 @@ func New(p *gigaflow.Pipeline, cfg Config) (*Service, error) {
 			in:    make(chan packet, cfg.QueueDepth),
 			label: fmt.Sprintf("%d", i),
 		}
-		if cfg.UpcallWorkers > 0 {
+		if cfg.Upcall.Workers > 0 {
 			w.async = true
 			w.idx = i
-			w.overflow = cfg.UpcallOverflow
+			w.overflow = cfg.Upcall.Overflow
 			w.pending = upcall.NewTable[parked]()
 			// The engine traverses this worker's pipeline replica from its
 			// own goroutine; the worker's inline traversals (overflow
@@ -386,9 +574,9 @@ func New(p *gigaflow.Pipeline, cfg Config) (*Service, error) {
 		w.vs = gigaflow.NewVSwitch(replica, perWorker, opts...)
 		s.workers = append(s.workers, w)
 	}
-	if cfg.UpcallWorkers > 0 {
-		s.upq = upcall.NewQueue[parked](cfg.UpcallQueue)
-		s.eng = upcall.NewEngine(s.upq, cfg.UpcallWorkers, cfg.UpcallBatch, s.handleUpcalls)
+	if cfg.Upcall.Workers > 0 {
+		s.upq = upcall.NewQueue[parked](cfg.Upcall.Queue)
+		s.eng = upcall.NewEngine(s.upq, cfg.Upcall.Workers, cfg.Upcall.Batch, s.handleUpcalls)
 		for _, w := range s.workers {
 			w.upq = s.upq
 		}
@@ -418,7 +606,8 @@ func (s *Service) Start(ctx context.Context) error {
 		s.done.Add(1)
 		go s.runWorker(ctx, w)
 	}
-	if s.cfg.MaxIdle > 0 {
+	if s.cfg.Expiry.MaxIdle > 0 ||
+		(s.cfg.Conntrack.Enable && s.cfg.Conntrack.MaxIdle > 0) {
 		s.done.Add(1)
 		go s.runExpiry(ctx)
 	}
@@ -486,7 +675,7 @@ func (w *worker) run(pkt packet) {
 			}
 			return
 		}
-		res, err := w.vs.Process(pkt.key, now)
+		res, err := w.vs.ProcessMeta(pkt.key, pkt.meta, now)
 		if pkt.resp != nil {
 			pkt.resp <- Result{Verdict: res.Verdict, Final: res.Final, CacheHit: res.CacheHit, Err: err}
 		}
@@ -508,7 +697,7 @@ func (w *worker) runJob(j *batchJob, now int64) {
 	out := w.procOut[:n]
 	errs := w.procErr[:n]
 	if !w.async {
-		w.vs.ProcessBatch(j.keys, out, errs, now)
+		w.vs.ProcessBatchMeta(j.keys, j.metas, out, errs, now)
 		for i := 0; i < n; i++ {
 			j.res[i] = Result{Verdict: out[i].Verdict, Final: out[i].Final, CacheHit: out[i].CacheHit, Err: errs[i]}
 			if j.resp != nil {
@@ -595,7 +784,7 @@ func (w *worker) drain() {
 
 func (s *Service) runExpiry(ctx context.Context) {
 	defer s.done.Done()
-	ticker := time.NewTicker(s.cfg.ExpireEvery)
+	ticker := time.NewTicker(s.cfg.Expiry.Every)
 	defer ticker.Stop()
 	for {
 		select {
@@ -614,18 +803,6 @@ func (s *Service) runExpiry(ctx context.Context) {
 			}
 		}
 	}
-}
-
-// TrySubmit enqueues a packet without blocking: it reports false — and
-// counts a queue-full drop against the target worker — when that worker's
-// queue is full. resp may be nil for fire-and-forget; otherwise it must
-// have capacity for the result (the worker's send is blocking).
-//
-// Deprecated: use Submit with the Nonblocking option (and WithResponse
-// for the result channel); it reports the same condition as ErrQueueFull.
-func (s *Service) TrySubmit(k gigaflow.Key, resp chan<- Result) bool {
-	_, err := s.Submit(context.Background(), k, Nonblocking(), WithResponse(resp))
-	return err == nil
 }
 
 // UpdateRules applies a deterministic mutation to every worker's pipeline
@@ -689,6 +866,9 @@ func (s *Service) Stats(ctx context.Context) (gigaflow.VSwitchStats, error) {
 			out.Slowpath += st.Slowpath
 			out.Installs += st.Installs
 			out.InstallErrs += st.InstallErrs
+			out.CtFastpath += st.CtFastpath
+			out.CtGuardFails += st.CtGuardFails
+			out.CtInvalidated += st.CtInvalidated
 			mu.Unlock()
 			done <- struct{}{}
 		}}
@@ -776,10 +956,13 @@ func shareOf(total, n, i int) int {
 	return share
 }
 
-// keyShard hashes the 5-tuple for RSS sharding — the same FlowHash the
-// flight recorder fingerprints cold events with. (The previous
-// byte-at-a-time FNV built a field-list slice per call; FlowHash is a
-// handful of multiply-xor ops and allocation-free.)
-func keyShard(k gigaflow.Key) uint64 {
+// shard hashes a key for RSS sharding — FlowHash (the same fingerprint
+// the flight recorder logs for cold events), or its endpoint-symmetric
+// variant in conntrack mode, where forward and reply packets of a
+// connection must reach the same worker's private table.
+func (s *Service) shard(k gigaflow.Key) uint64 {
+	if s.symShard {
+		return k.SymHash()
+	}
 	return k.FlowHash()
 }

@@ -161,9 +161,9 @@ func TestUpdateRulesRevalidatesAllReplicas(t *testing.T) {
 func TestSameFlowSameWorker(t *testing.T) {
 	s, _ := startService(t, 4)
 	k := key(7, 80)
-	w1 := s.workers[int(keyShard(k)%uint64(len(s.workers)))]
+	w1 := s.workers[int(s.shard(k)%uint64(len(s.workers)))]
 	for i := 0; i < 10; i++ {
-		w2 := s.workers[int(keyShard(k)%uint64(len(s.workers)))]
+		w2 := s.workers[int(s.shard(k)%uint64(len(s.workers)))]
 		if w1 != w2 {
 			t.Fatal("shard hash not stable")
 		}
@@ -172,10 +172,9 @@ func TestSameFlowSameWorker(t *testing.T) {
 
 func TestIdleExpiryTicker(t *testing.T) {
 	s, err := New(buildPipeline(), Config{
-		Workers:     1,
-		Cache:       gigaflow.CacheConfig{NumTables: 3, TableCapacity: 3 * 64},
-		MaxIdle:     time.Millisecond,
-		ExpireEvery: 5 * time.Millisecond,
+		Workers: 1,
+		Cache:   gigaflow.CacheConfig{NumTables: 3, TableCapacity: 3 * 64},
+		Expiry:  ExpiryConfig{MaxIdle: time.Millisecond, Every: 5 * time.Millisecond},
 	})
 	if err != nil {
 		t.Fatal(err)

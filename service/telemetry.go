@@ -69,7 +69,7 @@ func (s *Service) collectServiceMetrics() {
 	capacity := s.reg.GaugeVec("gigaflow_queue_capacity",
 		"Worker input queue length limit.", "worker")
 	drops := s.reg.CounterVec("gigaflow_queue_full_drops_total",
-		"TrySubmit packets dropped because the worker queue was full.", "worker")
+		"Nonblocking submissions dropped because the worker queue was full.", "worker")
 	skips := s.reg.CounterVec("gigaflow_expiry_skips_total",
 		"Idle-expiry sweeps skipped because the worker queue was full.", "worker")
 	for _, w := range s.workers {
@@ -155,7 +155,7 @@ type workerLatency struct {
 
 // latencyDoc is the /latency response: per-worker and aggregate per-tier
 // latency ladders. Enabled is false (and the rest empty) when the
-// service was built with Config.NoLatency.
+// service was built with Config.Latency.Disable.
 type latencyDoc struct {
 	Enabled bool                                 `json:"enabled"`
 	Workers []workerLatency                      `json:"workers,omitempty"`
@@ -166,7 +166,7 @@ type latencyDoc struct {
 // workers' own goroutines and merges them into an aggregate ladder.
 func (s *Service) latencyTelemetry(ctx context.Context) (latencyDoc, error) {
 	doc := latencyDoc{}
-	if s.cfg.NoLatency {
+	if s.cfg.Latency.Disable {
 		return doc, nil
 	}
 	doc.Enabled = true
@@ -227,7 +227,7 @@ type workerFlight struct {
 // means the whole ring), plus any retained spike captures, snapshotted on
 // the workers' own goroutines.
 func (s *Service) flightTelemetry(ctx context.Context, n int) ([]workerFlight, error) {
-	if s.cfg.NoLatency {
+	if s.cfg.Latency.Disable {
 		return nil, nil
 	}
 	out := make([]workerFlight, len(s.workers))
@@ -362,7 +362,7 @@ func (s *Service) TelemetryHandler() http.Handler {
 		enc.Encode(struct {
 			Enabled bool           `json:"enabled"`
 			Workers []workerFlight `json:"workers,omitempty"`
-		}{!s.cfg.NoLatency, workers})
+		}{!s.cfg.Latency.Disable, workers})
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

@@ -3,6 +3,7 @@ package service
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net"
@@ -26,7 +27,7 @@ func TestConfigValidation(t *testing.T) {
 		{"negative workers", Config{Workers: -1}, "Workers"},
 		{"negative queue", Config{QueueDepth: -5}, "QueueDepth"},
 		{"negative maxidle", Config{MaxIdle: -time.Second}, "MaxIdle"},
-		{"expiry without maxidle", Config{ExpireEvery: time.Second}, "MaxIdle is 0"},
+		{"expiry without maxidle", Config{Expiry: ExpiryConfig{Every: time.Second}}, "MaxIdle is 0"},
 		{"negative microflow", Config{MicroflowCapacity: -1}, "MicroflowCapacity"},
 		{"negative trace sample", Config{TraceSample: -1}, "TraceSample"},
 		{"megaflow cap on gigaflow backend", Config{MegaflowCapacity: 100}, "BackendGigaflow"},
@@ -368,9 +369,9 @@ func TestLatencyEndpoint(t *testing.T) {
 
 func TestFlightEndpoint(t *testing.T) {
 	s, base := startTelemetryService(t, Config{
-		Workers:       1,
-		Cache:         gigaflow.CacheConfig{NumTables: 3, TableCapacity: 3 * 256},
-		FlightRecords: 64,
+		Workers: 1,
+		Cache:   gigaflow.CacheConfig{NumTables: 3, TableCapacity: 3 * 256},
+		Latency: LatencyConfig{FlightRecords: 64},
 	})
 	ctx := context.Background()
 	for i := 0; i < 10; i++ {
@@ -424,7 +425,7 @@ func TestFlightEndpoint(t *testing.T) {
 }
 
 func TestLatencyDisabled(t *testing.T) {
-	s, base := startTelemetryService(t, Config{NoLatency: true})
+	s, base := startTelemetryService(t, Config{Latency: LatencyConfig{Disable: true}})
 	if _, err := s.Submit(context.Background(), key(1, 80)); err != nil {
 		t.Fatal(err)
 	}
@@ -435,7 +436,7 @@ func TestLatencyDisabled(t *testing.T) {
 		t.Fatal(err)
 	}
 	if lat.Enabled {
-		t.Error("/latency reports enabled under NoLatency")
+		t.Error("/latency reports enabled under Latency.Disable")
 	}
 	var fl struct {
 		Enabled bool `json:"enabled"`
@@ -444,7 +445,7 @@ func TestLatencyDisabled(t *testing.T) {
 		t.Fatal(err)
 	}
 	if fl.Enabled {
-		t.Error("/debug/flight reports enabled under NoLatency")
+		t.Error("/debug/flight reports enabled under Latency.Disable")
 	}
 }
 
@@ -457,7 +458,7 @@ func TestConcurrentScrape(t *testing.T) {
 		Cache:             gigaflow.CacheConfig{NumTables: 3, TableCapacity: 3 * 256},
 		MicroflowCapacity: 256,
 		TraceSample:       8,
-		FlightRecords:     128,
+		Latency:           LatencyConfig{FlightRecords: 128},
 	})
 	ctx := context.Background()
 	stop := make(chan struct{})
@@ -506,18 +507,19 @@ func TestConcurrentScrape(t *testing.T) {
 	<-producerDone
 }
 
-func TestTrySubmitDropsCounted(t *testing.T) {
+func TestNonblockingDropsCounted(t *testing.T) {
 	s, err := New(buildPipeline(), Config{Workers: 1, QueueDepth: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Not started: the worker drains nothing, so the second TrySubmit to
-	// the same (only) worker must fail.
-	if !s.TrySubmit(key(1, 80), nil) {
-		t.Fatal("first TrySubmit should fit the queue")
+	// Not started: the worker drains nothing, so the second nonblocking
+	// Submit to the same (only) worker must fail.
+	ctx := context.Background()
+	if _, err := s.Submit(ctx, key(1, 80), Nonblocking()); err != nil {
+		t.Fatalf("first nonblocking Submit should fit the queue: %v", err)
 	}
-	if s.TrySubmit(key(1, 80), nil) {
-		t.Fatal("second TrySubmit should be dropped")
+	if _, err := s.Submit(ctx, key(1, 80), Nonblocking()); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("second nonblocking Submit = %v, want ErrQueueFull", err)
 	}
 	if got := s.workers[0].drops.Load(); got != 1 {
 		t.Errorf("drops = %d, want 1", got)

@@ -2,7 +2,7 @@
 // subsystem (internal/upcall holds the mechanism — pending-flow table,
 // bounded miss queue, drain engine).
 //
-// With Config.UpcallWorkers set, a worker no longer runs the pipeline
+// With Config.Upcall.Workers set, a worker no longer runs the pipeline
 // traversal for a main-cache miss inline. The packet is parked: its
 // delivery context (job slot or response channel) is appended to the
 // flow's pending-table entry, and — for the first packet of the flow

@@ -21,8 +21,7 @@ func upcallConfig(backend Backend, workers, engineWorkers int) Config {
 		Workers:           workers,
 		Backend:           backend,
 		MicroflowCapacity: 512,
-		UpcallWorkers:     engineWorkers,
-		UpcallQueue:       4096,
+		Upcall:            UpcallConfig{Workers: engineWorkers, Queue: 4096},
 	}
 	if backend == BackendMegaflow {
 		cfg.MegaflowCapacity = 1024
@@ -56,7 +55,7 @@ func TestUpcallMatchesInline(t *testing.T) {
 	for _, backend := range []Backend{BackendGigaflow, BackendMegaflow} {
 		t.Run(backend.String(), func(t *testing.T) {
 			inCfg := upcallConfig(backend, 2, 1)
-			inCfg.UpcallWorkers, inCfg.UpcallQueue = 0, 0
+			inCfg.Upcall = UpcallConfig{}
 			inline := startCfg(t, inCfg)
 			async := startCfg(t, upcallConfig(backend, 2, 1))
 
@@ -201,9 +200,9 @@ func TestUpcallOrdering(t *testing.T) {
 // ErrUpcallOverflow. Unlocking releases the two survivors.
 func TestUpcallOverflowDrop(t *testing.T) {
 	cfg := upcallConfig(BackendGigaflow, 1, 1)
-	cfg.UpcallQueue = 1
-	cfg.UpcallBatch = 1
-	cfg.UpcallOverflow = OverflowDrop
+	cfg.Upcall.Queue = 1
+	cfg.Upcall.Batch = 1
+	cfg.Upcall.Overflow = OverflowDrop
 	s := startCfg(t, cfg)
 	ctx := context.Background()
 	w := s.workers[0]
@@ -268,8 +267,8 @@ func TestUpcallOverflowDrop(t *testing.T) {
 // back to the inline slow path, so every packet still gets its verdict.
 func TestUpcallOverflowInline(t *testing.T) {
 	cfg := upcallConfig(BackendGigaflow, 1, 1)
-	cfg.UpcallQueue = 1
-	cfg.UpcallBatch = 1
+	cfg.Upcall.Queue = 1
+	cfg.Upcall.Batch = 1
 	s := startCfg(t, cfg)
 	ctx := context.Background()
 
@@ -300,7 +299,7 @@ func TestUpcallOverflowInline(t *testing.T) {
 // once the engine is released.
 func TestUpcallShutdownParked(t *testing.T) {
 	cfg := upcallConfig(BackendGigaflow, 1, 1)
-	cfg.UpcallBatch = 1
+	cfg.Upcall.Batch = 1
 	s, err := New(buildPipeline(), cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -459,8 +458,7 @@ func TestUpcallHOLGate(t *testing.T) {
 			QueueDepth:        4096,
 		}
 		if engineWorkers > 0 {
-			cfg.UpcallWorkers = engineWorkers
-			cfg.UpcallQueue = 8192
+			cfg.Upcall = UpcallConfig{Workers: engineWorkers, Queue: 8192}
 		}
 		return cfg
 	}

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sync"
 
+	"gigaflow/internal/conntrack"
+	"gigaflow/internal/flow"
 	gfcache "gigaflow/internal/gigaflow"
 	"gigaflow/internal/megaflow"
 	"gigaflow/internal/microflow"
@@ -24,12 +26,14 @@ type VSwitch struct {
 	gf   *gfcache.Cache
 	mf   *megaflow.Cache  // optional alternative backend
 	uf   *microflow.Cache // optional exact-match first level
+	ct   *conntrack.Table // optional connection tracking (stateful datapath)
 
-	maxIdle int64
-	tracer  *telemetry.Tracer          // optional traversal tracer (sampled)
-	rec     *telemetry.LatencyRecorder // optional latency attribution + flight ring
-	slowMu  *sync.Mutex                // optional slow-path traversal lock (async upcall mode)
-	stats   VSwitchStats
+	maxIdle   int64
+	ctMaxIdle int64                      // conntrack idle expiry, independent of the cache tiers'
+	tracer    *telemetry.Tracer          // optional traversal tracer (sampled)
+	rec       *telemetry.LatencyRecorder // optional latency attribution + flight ring
+	slowMu    *sync.Mutex                // optional slow-path traversal lock (async upcall mode)
+	stats     VSwitchStats
 }
 
 // VSwitchStats counts end-to-end events.
@@ -46,6 +50,11 @@ type VSwitchStats struct {
 	Slowpath      uint64 `json:"slowpath"` // traversals executed
 	Installs      uint64 `json:"installs"`
 	InstallErrs   uint64 `json:"install_errs"`
+
+	// Conntrack-mode counters; always zero when tracking is disabled.
+	CtFastpath    uint64 `json:"ct_fastpath,omitempty"`    // microflow hits served under the epoch guard
+	CtGuardFails  uint64 `json:"ct_guard_fails,omitempty"` // microflow entries dropped by the guard
+	CtInvalidated uint64 `json:"ct_invalidated,omitempty"` // main-cache entries removed on stale epoch
 }
 
 // HitRate reports the main cache's hit rate over the packets that reached
@@ -181,47 +190,82 @@ type ProcessResult struct {
 //
 //gf:hotpath
 func (v *VSwitch) Process(k Key, now int64) (ProcessResult, error) {
+	return v.ProcessMeta(k, 0, now)
+}
+
+// ProcessMeta is Process with packet metadata the flow key does not
+// carry: the TCP flag byte, which drives the conntrack state machine
+// when connection tracking is enabled (and is ignored otherwise). With
+// conntrack on, the packet is tracked, its ct_state bits are folded into
+// the key the main cache and slowpath see, connection-dependent cache
+// entries are validated against the connection's current epoch on every
+// hit, and memoized microflow results serve only under the ctServe
+// guard. With conntrack off the body reduces exactly to the stateless
+// datapath.
+//
+//gf:hotpath
+func (v *VSwitch) ProcessMeta(k Key, tcpFlags uint8, now int64) (ProcessResult, error) {
 	v.stats.Packets++
 	if v.rec != nil {
 		v.rec.BeginBatch(now)
 	}
 	if v.tracer != nil {
 		if tb := v.tracer.Start(); tb != nil {
-			return v.processTraced(k, now, tb)
+			return v.processTraced(k, tcpFlags, now, tb)
 		}
 	}
 	if v.uf != nil {
 		if e, ok := v.uf.Lookup(k, now); ok {
-			v.stats.MicroflowHits++
-			if v.rec != nil {
-				v.rec.Hit(telemetry.TierMicroflow, v.uf.LastHash())
-				v.rec.EndBatch()
+			if v.ct == nil || v.ctServe(e, k, tcpFlags, now) {
+				v.stats.MicroflowHits++
+				if v.rec != nil {
+					v.rec.Hit(telemetry.TierMicroflow, v.uf.LastHash())
+					v.rec.EndBatch()
+				}
+				return ProcessResult{Verdict: e.Verdict, Final: e.Final, CacheHit: true, MicroflowHit: true}, nil
 			}
-			return ProcessResult{Verdict: e.Verdict, Final: e.Final, CacheHit: true, MicroflowHit: true}, nil
+			// Stale or transition-capable: drop the memo, take the full path.
+			v.uf.Remove(k)
+			v.stats.CtGuardFails++
 		}
+	}
+	kt, conn, dir := k, (*conntrack.Conn)(nil), conntrack.DirForward
+	tier := telemetry.TierSlowpath
+	if v.ct != nil {
+		var bits uint64
+		bits, conn, dir = v.ct.Track(k, tcpFlags, now)
+		kt = k.With(flow.FieldCtState, bits)
 	}
 	if v.gf != nil {
-		res := v.gf.Lookup(k, now)
+		res := v.gf.Lookup(kt, now)
 		if res.Hit {
+			if v.ct == nil || v.ctPathValid(res.Path) {
+				v.stats.CacheHits++
+				v.memoizeCt(k, res.Final, res.Verdict, now, conn, dir)
+				if v.rec != nil {
+					v.rec.Hit(telemetry.TierGigaflow, kt.FlowHash())
+					v.rec.EndBatch()
+				}
+				return ProcessResult{Verdict: res.Verdict, Final: res.Final, CacheHit: true}, nil
+			}
+			tier = telemetry.TierConntrack // stale entries revoked: replay
+		}
+	} else if e, ok := v.mf.Lookup(kt, now); ok {
+		if v.ct == nil || e.CtEpoch == 0 || v.ct.EpochValid(e.CtConn, e.CtEpoch) {
 			v.stats.CacheHits++
-			v.memoize(k, res.Final, res.Verdict, now)
+			final, verdict := e.Apply(kt)
+			v.memoizeCt(k, final, verdict, now, conn, dir)
 			if v.rec != nil {
-				v.rec.Hit(telemetry.TierGigaflow, k.FlowHash())
+				v.rec.Hit(telemetry.TierMegaflow, kt.FlowHash())
 				v.rec.EndBatch()
 			}
-			return ProcessResult{Verdict: res.Verdict, Final: res.Final, CacheHit: true}, nil
+			return ProcessResult{Verdict: verdict, Final: final, CacheHit: true}, nil
 		}
-	} else if e, ok := v.mf.Lookup(k, now); ok {
-		v.stats.CacheHits++
-		final, verdict := e.Apply(k)
-		v.memoize(k, final, verdict, now)
-		if v.rec != nil {
-			v.rec.Hit(telemetry.TierMegaflow, k.FlowHash())
-			v.rec.EndBatch()
-		}
-		return ProcessResult{Verdict: verdict, Final: final, CacheHit: true}, nil
+		v.mf.Remove(e)
+		v.stats.CtInvalidated++
+		tier = telemetry.TierConntrack
 	}
-	return v.processMiss(k, now, nil)
+	return v.processMissCt(k, kt, conn, dir, tier, now, nil)
 }
 
 // ProcessBatch handles len(keys) packets at virtual time now, writing
@@ -242,11 +286,25 @@ func (v *VSwitch) Process(k Key, now int64) (ProcessResult, error) {
 //
 //gf:hotpath
 func (v *VSwitch) ProcessBatch(keys []Key, out []ProcessResult, errs []error, now int64) {
+	v.ProcessBatchMeta(keys, nil, out, errs, now)
+}
+
+// ProcessBatchMeta is ProcessBatch with per-packet TCP flag bytes for the
+// conntrack state machine; flags may be nil (all packets read as
+// flagless) and is otherwise indexed in step with keys. See ProcessMeta
+// for the conntrack semantics; with tracking disabled the body reduces
+// exactly to the stateless batch path.
+//
+//gf:hotpath
+func (v *VSwitch) ProcessBatchMeta(keys []Key, flags []uint8, out []ProcessResult, errs []error, now int64) {
 	if len(keys) == 0 {
 		return
 	}
 	_ = out[len(keys)-1]
 	_ = errs[len(keys)-1]
+	if flags != nil {
+		_ = flags[len(keys)-1]
+	}
 	var packets, ufHits, mainHits uint64
 	var ufb microflow.BatchLookup
 	var gfb gfcache.BatchLookup
@@ -264,46 +322,69 @@ func (v *VSwitch) ProcessBatch(keys []Key, out []ProcessResult, errs []error, no
 	}
 	for i := range keys {
 		k := keys[i]
+		var fl uint8
+		if flags != nil {
+			fl = flags[i]
+		}
 		packets++
 		errs[i] = nil
 		if v.tracer != nil {
 			if tb := v.tracer.Start(); tb != nil {
-				out[i], errs[i] = v.processTraced(k, now, tb)
+				out[i], errs[i] = v.processTraced(k, fl, now, tb)
 				continue
 			}
 		}
 		if v.uf != nil {
 			if e, ok := ufb.Lookup(k, now); ok {
-				ufHits++
-				if v.rec != nil {
-					v.rec.Hit(telemetry.TierMicroflow, v.uf.LastHash())
+				if v.ct == nil || v.ctServe(e, k, fl, now) {
+					ufHits++
+					if v.rec != nil {
+						v.rec.Hit(telemetry.TierMicroflow, v.uf.LastHash())
+					}
+					out[i] = ProcessResult{Verdict: e.Verdict, Final: e.Final, CacheHit: true, MicroflowHit: true}
+					continue
 				}
-				out[i] = ProcessResult{Verdict: e.Verdict, Final: e.Final, CacheHit: true, MicroflowHit: true}
-				continue
+				v.uf.Remove(k)
+				v.stats.CtGuardFails++
 			}
+		}
+		kt, conn, dir := k, (*conntrack.Conn)(nil), conntrack.DirForward
+		tier := telemetry.TierSlowpath
+		if v.ct != nil {
+			var bits uint64
+			bits, conn, dir = v.ct.Track(k, fl, now)
+			kt = k.With(flow.FieldCtState, bits)
 		}
 		if v.gf != nil {
-			res := gfb.Lookup(k, now)
+			res := gfb.Lookup(kt, now)
 			if res.Hit {
-				mainHits++
-				v.memoize(k, res.Final, res.Verdict, now)
-				if v.rec != nil {
-					v.rec.Hit(telemetry.TierGigaflow, k.FlowHash())
+				if v.ct == nil || v.ctPathValid(res.Path) {
+					mainHits++
+					v.memoizeCt(k, res.Final, res.Verdict, now, conn, dir)
+					if v.rec != nil {
+						v.rec.Hit(telemetry.TierGigaflow, kt.FlowHash())
+					}
+					out[i] = ProcessResult{Verdict: res.Verdict, Final: res.Final, CacheHit: true}
+					continue
 				}
-				out[i] = ProcessResult{Verdict: res.Verdict, Final: res.Final, CacheHit: true}
+				tier = telemetry.TierConntrack
+			}
+		} else if e, ok := mfb.Lookup(kt, now); ok {
+			if v.ct == nil || e.CtEpoch == 0 || v.ct.EpochValid(e.CtConn, e.CtEpoch) {
+				mainHits++
+				final, verdict := e.Apply(kt)
+				v.memoizeCt(k, final, verdict, now, conn, dir)
+				if v.rec != nil {
+					v.rec.Hit(telemetry.TierMegaflow, kt.FlowHash())
+				}
+				out[i] = ProcessResult{Verdict: verdict, Final: final, CacheHit: true}
 				continue
 			}
-		} else if e, ok := mfb.Lookup(k, now); ok {
-			mainHits++
-			final, verdict := e.Apply(k)
-			v.memoize(k, final, verdict, now)
-			if v.rec != nil {
-				v.rec.Hit(telemetry.TierMegaflow, k.FlowHash())
-			}
-			out[i] = ProcessResult{Verdict: verdict, Final: final, CacheHit: true}
-			continue
+			v.mf.Remove(e)
+			v.stats.CtInvalidated++
+			tier = telemetry.TierConntrack
 		}
-		out[i], errs[i] = v.processMiss(k, now, nil)
+		out[i], errs[i] = v.processMissCt(k, kt, conn, dir, tier, now, nil)
 	}
 	if v.rec != nil {
 		v.rec.EndBatch()
@@ -325,7 +406,7 @@ func (v *VSwitch) ProcessBatch(keys []Key, out []ProcessResult, errs []error, no
 // report the observer as the tail.
 //
 //gf:hotpath-safe sampled 1-in-N diversion; tracing allocates and reads the clock by contract
-func (v *VSwitch) processTraced(k Key, now int64, tb *telemetry.TraceBuilder) (ProcessResult, error) {
+func (v *VSwitch) processTraced(k Key, tcpFlags uint8, now int64, tb *telemetry.TraceBuilder) (ProcessResult, error) {
 	if v.rec != nil {
 		v.rec.ColdBegin()
 	}
@@ -333,8 +414,9 @@ func (v *VSwitch) processTraced(k Key, now int64, tb *telemetry.TraceBuilder) (P
 	if v.uf != nil {
 		tb.Begin("microflow")
 		e, ok := v.uf.Lookup(k, now)
-		tb.End(ok)
-		if ok {
+		served := ok && (v.ct == nil || v.ctServe(e, k, tcpFlags, now))
+		tb.End(served)
+		if served {
 			v.stats.MicroflowHits++
 			tb.Finish(e.Verdict.String(), true, true, nil)
 			if v.rec != nil {
@@ -342,39 +424,62 @@ func (v *VSwitch) processTraced(k Key, now int64, tb *telemetry.TraceBuilder) (P
 			}
 			return ProcessResult{Verdict: e.Verdict, Final: e.Final, CacheHit: true, MicroflowHit: true}, nil
 		}
+		if ok {
+			v.uf.Remove(k)
+			v.stats.CtGuardFails++
+		}
+	}
+	kt, conn, dir := k, (*conntrack.Conn)(nil), conntrack.DirForward
+	tier := telemetry.TierSlowpath
+	if v.ct != nil {
+		tb.Begin("conntrack")
+		var bits uint64
+		bits, conn, dir = v.ct.Track(k, tcpFlags, now)
+		kt = k.With(flow.FieldCtState, bits)
+		tb.End(conn != nil)
 	}
 	if v.gf != nil {
 		tb.Begin("gigaflow")
-		res := v.gf.Lookup(k, now)
-		tb.End(res.Hit)
+		res := v.gf.Lookup(kt, now)
+		valid := res.Hit && (v.ct == nil || v.ctPathValid(res.Path))
+		tb.End(valid)
 		for _, e := range res.Path {
 			tb.Note("ltm-table", e.TableIndex(), e.Tag, e.Priority)
 		}
-		if res.Hit {
+		if valid {
 			v.stats.CacheHits++
-			v.memoize(k, res.Final, res.Verdict, now)
+			v.memoizeCt(k, res.Final, res.Verdict, now, conn, dir)
 			tb.Finish(res.Verdict.String(), true, false, nil)
 			if v.rec != nil {
-				v.rec.Cold(telemetry.TierGigaflow, k.FlowHash(), telemetry.FlightTraced)
+				v.rec.Cold(telemetry.TierGigaflow, kt.FlowHash(), telemetry.FlightTraced)
 			}
 			return ProcessResult{Verdict: res.Verdict, Final: res.Final, CacheHit: true}, nil
 		}
+		if res.Hit {
+			tier = telemetry.TierConntrack
+		}
 	} else {
 		tb.Begin("megaflow")
-		e, ok := v.mf.Lookup(k, now)
-		tb.End(ok)
-		if ok {
+		e, ok := v.mf.Lookup(kt, now)
+		valid := ok && (v.ct == nil || e.CtEpoch == 0 || v.ct.EpochValid(e.CtConn, e.CtEpoch))
+		tb.End(valid)
+		if valid {
 			v.stats.CacheHits++
-			final, verdict := e.Apply(k)
-			v.memoize(k, final, verdict, now)
+			final, verdict := e.Apply(kt)
+			v.memoizeCt(k, final, verdict, now, conn, dir)
 			tb.Finish(verdict.String(), true, false, nil)
 			if v.rec != nil {
-				v.rec.Cold(telemetry.TierMegaflow, k.FlowHash(), telemetry.FlightTraced)
+				v.rec.Cold(telemetry.TierMegaflow, kt.FlowHash(), telemetry.FlightTraced)
 			}
 			return ProcessResult{Verdict: verdict, Final: final, CacheHit: true}, nil
 		}
+		if ok {
+			v.mf.Remove(e)
+			v.stats.CtInvalidated++
+			tier = telemetry.TierConntrack
+		}
 	}
-	return v.processMiss(k, now, tb)
+	return v.processMissCt(k, kt, conn, dir, tier, now, tb)
 }
 
 // processMiss punts a main-cache miss to the slowpath: full pipeline
@@ -383,6 +488,18 @@ func (v *VSwitch) processTraced(k Key, now int64, tb *telemetry.TraceBuilder) (P
 //
 //gf:hotpath-safe slowpath traversal and rule install; misses are µs-scale and allocate by design
 func (v *VSwitch) processMiss(k Key, now int64, tb *telemetry.TraceBuilder) (ProcessResult, error) {
+	return v.processMissCt(k, k, nil, conntrack.DirForward, telemetry.TierSlowpath, now, tb)
+}
+
+// processMissCt is processMiss with the conntrack context threaded
+// through: kt is the lookup key with ct_state folded in (equal to k when
+// tracking is off), conn/dir the packet's tracked connection, and tier
+// the latency tier the miss is attributed to (TierConntrack when a stale
+// connection-dependent entry forced the replay).
+//
+//gf:hotpath-safe slowpath traversal and rule install; misses are µs-scale and allocate by design
+func (v *VSwitch) processMissCt(k, kt Key, conn *conntrack.Conn, dir conntrack.Dir,
+	tier telemetry.Tier, now int64, tb *telemetry.TraceBuilder) (ProcessResult, error) {
 	if v.rec != nil {
 		v.rec.ColdBegin() // no-op when arriving via processTraced
 	}
@@ -398,7 +515,14 @@ func (v *VSwitch) processMiss(k Key, now int64, tb *telemetry.TraceBuilder) (Pro
 	if v.slowMu != nil {
 		v.slowMu.Lock() // exclude concurrent upcall-engine traversals
 	}
-	tr, err := v.pipe.Process(k)
+	var tr *Traversal
+	var err error
+	if v.ct != nil {
+		res := ctResolver{ct: v.ct, pipe: v.pipe, conn: conn, dir: dir}
+		tr, err = v.pipe.ProcessResolve(kt, &res)
+	} else {
+		tr, err = v.pipe.Process(kt)
+	}
 	if v.slowMu != nil {
 		v.slowMu.Unlock()
 	}
@@ -411,7 +535,7 @@ func (v *VSwitch) processMiss(k Key, now int64, tb *telemetry.TraceBuilder) (Pro
 			tb.Finish("", false, false, err)
 		}
 		if v.rec != nil {
-			v.rec.Cold(telemetry.TierSlowpath, k.FlowHash(), flightFlags)
+			v.rec.Cold(tier, kt.FlowHash(), flightFlags)
 		}
 		return ProcessResult{}, err
 	}
@@ -455,12 +579,12 @@ func (v *VSwitch) processMiss(k Key, now int64, tb *telemetry.TraceBuilder) (Pro
 	if tb != nil {
 		tb.End(installed)
 	}
-	v.memoize(k, tr.FinalKey(), tr.Verdict, now)
+	v.memoizeCt(k, tr.FinalKey(), tr.Verdict, now, conn, dir)
 	if tb != nil {
 		tb.Finish(tr.Verdict.String(), false, false, nil)
 	}
 	if v.rec != nil {
-		v.rec.Cold(telemetry.TierSlowpath, k.FlowHash(), flightFlags)
+		v.rec.Cold(tier, kt.FlowHash(), flightFlags)
 	}
 	return ProcessResult{Verdict: tr.Verdict, Final: tr.FinalKey()}, nil
 }
@@ -493,6 +617,12 @@ func (v *VSwitch) Revalidate() (evicted, work int) {
 // (no-op unless WithMaxIdle was set). Returns the number evicted from the
 // main cache.
 func (v *VSwitch) ExpireIdle(now int64) int {
+	if v.ct != nil && v.ctMaxIdle > 0 {
+		// Idle connections die first (epoch-poisoned), so cache entries
+		// that depended on them fail validation even before their own
+		// idle timers fire.
+		v.ct.ExpireIdle(now, v.ctMaxIdle)
+	}
 	if v.maxIdle <= 0 {
 		return 0
 	}
@@ -532,6 +662,7 @@ type VSwitchTelemetry struct {
 	Gigaflow  *gfcache.Snapshot   `json:"gigaflow,omitempty"`
 	Megaflow  *megaflow.Snapshot  `json:"megaflow,omitempty"`
 	Microflow *microflow.Snapshot `json:"microflow,omitempty"`
+	Conntrack *conntrack.Stats    `json:"conntrack,omitempty"`
 }
 
 // Telemetry captures the vSwitch's current introspection view. Like every
@@ -550,6 +681,10 @@ func (v *VSwitch) Telemetry() VSwitchTelemetry {
 	if v.uf != nil {
 		s := v.uf.Snapshot()
 		t.Microflow = &s
+	}
+	if v.ct != nil {
+		s := v.ct.Stats()
+		t.Conntrack = &s
 	}
 	return t
 }
@@ -645,6 +780,22 @@ func (v *VSwitch) CollectMetrics(reg *telemetry.Registry, worker string) {
 		c("gigaflow_microflow_evictions_total", "Exact-match entries evicted by LRU.", us.EvictLRU)
 		c("gigaflow_microflow_expired_total", "Exact-match entries removed by idle expiry.", us.Expired)
 		c("gigaflow_microflow_invalidated_total", "Exact-match entries dropped by revalidation.", us.Invalid)
+	}
+
+	if v.ct != nil {
+		cs := v.ct.Stats()
+		c("gigaflow_ct_lookups_total", "Conntrack table probes (tracked protocols).", cs.Lookups)
+		c("gigaflow_ct_hits_total", "Conntrack probes that found an existing connection.", cs.Hits)
+		c("gigaflow_ct_created_total", "Connections created (including reopens).", cs.Created)
+		c("gigaflow_ct_transitions_total", "Connection state transitions.", cs.Transitions)
+		c("gigaflow_ct_reopened_total", "Closed connections replaced by a fresh handshake.", cs.Reopened)
+		c("gigaflow_ct_expired_total", "Connections removed by idle expiry.", cs.Expired)
+		c("gigaflow_ct_evictions_total", "Connections evicted by table pressure.", cs.EvictLRU)
+		c("gigaflow_ct_displaced_total", "Connections removed by a tuple-registration clash.", cs.Displaced)
+		g("gigaflow_ct_connections", "Live tracked connections.", float64(v.ct.Len()))
+		c("gigaflow_ct_fastpath_total", "Microflow hits served under the conntrack epoch guard.", s.CtFastpath)
+		c("gigaflow_ct_guard_fails_total", "Microflow entries dropped by the conntrack guard.", s.CtGuardFails)
+		c("gigaflow_ct_invalidated_total", "Main-cache entries removed on a stale conntrack epoch.", s.CtInvalidated)
 	}
 
 	if v.rec != nil {
