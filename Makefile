@@ -81,12 +81,17 @@ bench:
 ##     conntrack-enabled service pushing plain TCP flows through a
 ##     stateless pipeline vs the identical service with tracking off, at
 ##     0 allocs/op.
+##   - RSS wire-hash sharding must scale: 2 shards must deliver at least
+##     1.5x single-shard throughput (measured wall clock on >=4 cpus,
+##     pipeline-bound model from measured stage costs otherwise), and the
+##     RSS 5-tuple extractor must run at 0 allocs/op.
 bench-gate:
 	GF_BENCH_GATE=1 $(GO) test -run TestBatchThroughputGate -count=1 -v ./service
 	GF_BENCH_GATE=1 $(GO) test -run TestLatencyOverheadGate -count=1 -v ./service
 	GF_BENCH_GATE=1 $(GO) test -run TestSlowpathProbeGate -count=1 -v ./internal/tss
 	GF_BENCH_GATE=1 $(GO) test -run TestUpcallHOLGate -count=1 -v ./service
 	GF_BENCH_GATE=1 $(GO) test -run TestConntrackOverheadGate -count=1 -v ./service
+	GF_BENCH_GATE=1 $(GO) test -run TestShardScalingGate -count=1 -v ./service
 
 ## bench-json: regenerate the checked-in benchmark reports:
 ##   - BENCH_slowpath.json — wall-clock slow-path (cold caches, low
@@ -100,17 +105,24 @@ bench-gate:
 ##   - BENCH_dnslb.json — the stateful DNS load-balancer scenario
 ##     (conntrack, DNAT pool pinning, ct_state pipeline, epoch
 ##     invalidation) on both cache backends, with conntrack counters.
+##   - BENCH_shards.json — RSS wire-hash sharding at 1/2/4/8 shards on
+##     stateless and NAT-stateful wire mixes: measured ns/pkt, per-shard
+##     packet spread, stage costs (t_submit/t_worker), and the
+##     pipeline-bound modeled throughput ladder.
 bench-json:
 	$(GO) run ./cmd/gigabench -exp slowpath -flows 20000 -json BENCH_slowpath.json
 	$(GO) run ./cmd/gigabench -exp latency -flows 20000 -json BENCH_latency.json
 	$(GO) run ./cmd/gigabench -exp upcall -json BENCH_upcall.json
 	$(GO) run ./cmd/gigabench -exp dnslb -json BENCH_dnslb.json
+	$(GO) run ./cmd/gigabench -exp shards -json BENCH_shards.json
 
-## fuzz-regress: replay the checked-in seed corpus (testdata/fuzz) through
-## the decoder fuzz target in plain-test mode — fast, deterministic, part
-## of ci.
+## fuzz-regress: replay the checked-in seed corpora (testdata/fuzz)
+## through the decoder and RSS-extractor fuzz targets in plain-test mode
+## — fast, deterministic, part of ci. FuzzRSSHash doubles as the
+## differential oracle: extractor output must agree with the full decoder
+## on every corpus input.
 fuzz-regress:
-	$(GO) test -run FuzzDecode ./internal/packet
+	$(GO) test -run 'FuzzDecode|FuzzRSSHash' ./internal/packet
 
 ## fuzz: actively fuzz the frame decoder for a short burst. New crashers
 ## land in internal/packet/testdata/fuzz/FuzzDecode — check them in.

@@ -12,6 +12,7 @@
 //	gfreplay -pcap demo.pcap -timed -speedup 100
 //	gfreplay -pcap real.pcap -rules prog.txt -backend megaflow -cap 32768
 //	gfreplay -pcap demo.pcap -telemetry 127.0.0.1:0 -metrics
+//	gfreplay -pcap real.pcap -rules nat.txt -workers 4 -conntrack -ct-idle 30s
 package main
 
 import (
@@ -50,6 +51,9 @@ func main() {
 		seed      = flag.Int64("seed", 1, "seed for -gen")
 		telem     = flag.String("telemetry", "", "serve /metrics and /debug endpoints on this address during the replay")
 		metrics   = flag.Bool("metrics", false, "dump the metrics registry (Prometheus text) after the report")
+		conntrack = flag.Bool("conntrack", false, "enable connection tracking (required for ct_state/NAT pipelines)")
+		ctMax     = flag.Int("ct-max", 0, "total live-connection budget across workers (0: conntrack default)")
+		ctIdle    = flag.Duration("ct-idle", 0, "expire connections idle longer than this (0: never)")
 	)
 	flag.Parse()
 
@@ -73,6 +77,16 @@ func main() {
 		MicroflowCapacity: *microflow * *workers,
 		QueueDepth:        *queue,
 		TelemetryAddr:     *telem,
+	}
+	if *conntrack {
+		cfg.Conntrack = service.ConntrackConfig{
+			Enable:   true,
+			MaxConns: *ctMax,
+			MaxIdle:  *ctIdle,
+		}
+	} else if *ctMax != 0 || *ctIdle != 0 {
+		fmt.Fprintln(os.Stderr, "gfreplay: -ct-max/-ct-idle require -conntrack")
+		os.Exit(2)
 	}
 	switch *backend {
 	case "gigaflow":

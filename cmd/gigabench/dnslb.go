@@ -162,9 +162,10 @@ func runDNSLB(p experiments.Params, jsonPath string) (*stats.Table, error) {
 	runMode := func(backend service.Backend, name string) (dnslbRow, error) {
 		row := dnslbRow{Backend: name, Pool: make(map[string]int)}
 		cfg := service.Config{
-			// NAT'd replies arrive on the translated tuple, which hashes to
-			// a different shard than the query direction — stateful NAT
-			// pipelines run single-worker (see service.ConntrackConfig).
+			// Single worker keeps the backend comparison serial and the
+			// per-packet costs directly comparable. Multi-worker NAT (the
+			// partitioned pool + owner-map reply routing) is measured by
+			// the shards experiment.
 			Workers:           1,
 			Backend:           backend,
 			MicroflowCapacity: 4 * clients,

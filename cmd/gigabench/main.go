@@ -27,7 +27,7 @@ var experimentOrder = []string{
 	"tab1", "fig3", "fig4", "fig8", "fig9", "fig10", "fig11", "fig12",
 	"fig13", "fig14", "fig15", "tab2", "fig16", "fig17", "fig18",
 	"sec636", "fig19", "svcbatch", "slowpath", "latency", "upcall",
-	"dnslb",
+	"dnslb", "shards",
 }
 
 // jsonOut is the -json flag: when the slowpath, latency, or upcall
@@ -237,6 +237,12 @@ func run(id string, p experiments.Params) error {
 		emit(t)
 	case "dnslb":
 		t, err := runDNSLB(p, jsonOut)
+		if err != nil {
+			return err
+		}
+		emit(t)
+	case "shards":
+		t, err := runShards(p, jsonOut)
 		if err != nil {
 			return err
 		}

@@ -43,7 +43,7 @@ func main() {
 		MicroflowCapacity: 256,
 		TelemetryAddr:     *addr,
 		TraceSample:       *sample,
-		UpcallWorkers:     *upcall,
+		Upcall:            service.UpcallConfig{Workers: *upcall},
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)

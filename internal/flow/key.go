@@ -57,8 +57,19 @@ func (k *Key) FlowHash() uint64 {
 //
 //gf:hotpath
 func (k *Key) SymHash() uint64 {
-	a, ap := k[FieldIPSrc], k[FieldTpSrc]
-	b, bp := k[FieldIPDst], k[FieldTpDst]
+	return SymHash5(k[FieldIPSrc], k[FieldIPDst], k[FieldIPProto], k[FieldTpSrc], k[FieldTpDst])
+}
+
+// SymHash5 is the symmetric 5-tuple mix backing Key.SymHash, factored
+// out so the wire-bytes RSS extractor (internal/packet.RSSHash) produces
+// bit-identical shard assignments without building a Key: any caller
+// holding the five tuple values — from a decoded key or straight from
+// L3/L4 header words — lands a flow's two directions on the same shard.
+//
+//gf:hotpath
+func SymHash5(srcIP, dstIP, proto, srcPort, dstPort uint64) uint64 {
+	a, ap := srcIP, srcPort
+	b, bp := dstIP, dstPort
 	if a > b || (a == b && ap > bp) {
 		a, b, ap, bp = b, a, bp, ap
 	}
@@ -66,7 +77,7 @@ func (k *Key) SymHash() uint64 {
 	h := uint64(0x9e3779b97f4a7c15)
 	h = (h ^ a) * prime
 	h = (h ^ b) * prime
-	h = (h ^ k[FieldIPProto]) * prime
+	h = (h ^ proto) * prime
 	h = (h ^ ap) * prime
 	h = (h ^ bp) * prime
 	h ^= h >> 33

@@ -36,6 +36,23 @@ type Request struct {
 	// submitted (a frame the decoder rejected, see SubmitFrameBatch) is
 	// skipped: it keeps its error and is never sent to a worker.
 	Result Result
+
+	// frame, when frame.n > 0, marks a wire-routed request: the raw frame
+	// bytes live in the batch's arena and are decoded on the owning shard
+	// worker instead of by the submitter (see SubmitFrameBatch). Key and
+	// Meta start zero; a blocking submission copies the worker's decode
+	// back into them at gather time.
+	frame frameRef
+}
+
+// frameRef locates one wire-routed frame in an arena ([off, off+n) of
+// the batch's — or, nonblocking, the job's — wire buffer) together with
+// its ingress port and the shard the RSS hash assigned. n == 0 means
+// "not a wire-routed entry".
+type frameRef struct {
+	off, n int
+	inPort uint16
+	shard  int32
 }
 
 // batchJob is one worker's slice of a submitted batch. It crosses the
@@ -47,6 +64,14 @@ type batchJob struct {
 	metas []uint8  // per-key TCP flag bytes, parallel to keys
 	idx   []int    // original request indices, parallel to keys
 	res   []Result // per-key results, parallel to keys
+
+	// Wire path: when wire is non-nil, frames is parallel to keys and
+	// entries with n > 0 are raw frames the worker decodes into keys[i] /
+	// metas[i] before the batch scan (runJob). Blocking jobs alias the
+	// batch's arena (the submitter blocks until gather, so the batch
+	// cannot be reused under them); nonblocking jobs own a copied arena.
+	frames []frameRef
+	wire   []byte
 
 	done     chan *batchJob // completion signal (nil for fire-and-forget)
 	resp     chan<- Result  // optional per-result fan-out
@@ -60,6 +85,21 @@ type batchJob struct {
 	pending int
 }
 
+// collect copies a completed job's results back into the batch — and,
+// for wire-routed entries, the key and TCP flags the shard worker
+// decoded, so Batch.Request(i).Key is populated after a blocking
+// SubmitFrameBatch regardless of which side ran the decoder.
+func (j *batchJob) collect(b *Batch) {
+	j.gathered = true
+	for i, ri := range j.idx {
+		b.reqs[ri].Result = j.res[i]
+		if j.wire != nil && j.frames[i].n > 0 {
+			b.reqs[ri].Key = j.keys[i]
+			b.reqs[ri].Meta = j.metas[i]
+		}
+	}
+}
+
 // Batch is a reusable collection of Requests submitted as one unit.
 // Reset/Add refill it without reallocating, so a steady-state submitter
 // (Replay, the benchmarks) allocates nothing per batch.
@@ -69,6 +109,7 @@ type batchJob struct {
 // it is in flight.
 type Batch struct {
 	reqs []Request
+	wire []byte         // arena for wire-routed frame bytes (SubmitFrameBatch)
 	jobs []batchJob     // per-worker scatter scratch, reused across submissions
 	done chan *batchJob // completion channel, reused across submissions
 }
@@ -79,7 +120,10 @@ func NewBatch(capacity int) *Batch {
 }
 
 // Reset empties the batch for reuse, keeping its buffers.
-func (b *Batch) Reset() { b.reqs = b.reqs[:0] }
+func (b *Batch) Reset() {
+	b.reqs = b.reqs[:0]
+	b.wire = b.wire[:0]
+}
 
 // Len reports the number of requests in the batch.
 func (b *Batch) Len() int { return len(b.reqs) }
@@ -101,6 +145,19 @@ func (b *Batch) addRejected(err error) {
 	b.reqs = append(b.reqs, Request{Result: Result{Err: err}})
 }
 
+// addFrame appends a wire-routed request: the frame bytes are copied
+// into the batch's arena — so the caller may reuse its own buffer the
+// moment this returns, preserving the streaming single-buffer contract —
+// and the full decode is deferred to the shard worker the RSS hash
+// picked.
+func (b *Batch) addFrame(inPort uint16, data []byte, shard int) {
+	off := len(b.wire)
+	b.wire = append(b.wire, data...)
+	b.reqs = append(b.reqs, Request{frame: frameRef{
+		off: off, n: len(data), inPort: inPort, shard: int32(shard),
+	}})
+}
+
 // Request returns request i for in-place inspection of its Key and Result.
 func (b *Batch) Request(i int) *Request { return &b.reqs[i] }
 
@@ -119,6 +176,8 @@ func (b *Batch) ensureJobs(nw int) {
 		j.keys = j.keys[:0]
 		j.metas = j.metas[:0]
 		j.idx = j.idx[:0]
+		j.frames = j.frames[:0]
+		j.wire = nil
 		j.done = nil
 		j.resp = nil
 		j.gathered = false
@@ -269,15 +328,28 @@ func (s *Service) submitBlocking(ctx context.Context, b *Batch, resp chan<- Resu
 	}
 	nw := len(s.workers)
 	b.ensureJobs(nw)
+	wirePath := len(b.wire) > 0
 	for i := range b.reqs {
 		if b.reqs[i].Result.Err != nil {
 			continue // pre-rejected (bad frame): never submitted
 		}
-		w := int(s.shard(b.reqs[i].Key) % uint64(nw))
+		var w int
+		if fr := b.reqs[i].frame; fr.n > 0 {
+			w = int(fr.shard) // routed from wire bytes at add time
+		} else {
+			w = s.shardOfKey(&b.reqs[i].Key)
+		}
 		j := &b.jobs[w]
 		j.keys = append(j.keys, b.reqs[i].Key)
 		j.metas = append(j.metas, b.reqs[i].Meta)
 		j.idx = append(j.idx, i)
+		if wirePath {
+			// frames stays parallel to keys (zero ref = key-routed entry).
+			// Blocking jobs alias the batch arena: the submitter blocks
+			// until gather, so the arena outlives every job.
+			j.frames = append(j.frames, b.reqs[i].frame)
+			j.wire = b.wire
+		}
 	}
 
 	start := time.Now()
@@ -310,10 +382,7 @@ enqueue:
 	for collected := 0; collected < enqueued; {
 		select {
 		case j := <-b.done:
-			j.gathered = true
-			for i, ri := range j.idx {
-				b.reqs[ri].Result = j.res[i]
-			}
+			j.collect(b)
 			collected++
 		case <-s.term:
 			// The workers have exited. Every completion they delivered
@@ -323,10 +392,7 @@ enqueue:
 			for drained := true; drained && collected < enqueued; {
 				select {
 				case j := <-b.done:
-					j.gathered = true
-					for i, ri := range j.idx {
-						b.reqs[ri].Result = j.res[i]
-					}
+					j.collect(b)
 					collected++
 				default:
 					drained = false
@@ -360,16 +426,24 @@ enqueue:
 
 // submitNonblocking scatters b into freshly allocated worker-owned jobs —
 // the caller may reuse the batch the moment we return, so nonblocking
-// jobs cannot alias its buffers. Full queues drop that worker's whole
-// job, recording ErrQueueFull per request.
+// jobs cannot alias its buffers (wire-routed frame bytes are copied into
+// a job-owned arena). Full queues drop that worker's whole job,
+// recording ErrQueueFull per request.
 func (s *Service) submitNonblocking(b *Batch, resp chan<- Result) error {
 	nw := len(s.workers)
 	perWorker := make([]*batchJob, nw)
+	wirePath := len(b.wire) > 0
 	for i := range b.reqs {
 		if b.reqs[i].Result.Err != nil {
 			continue // pre-rejected (bad frame): never submitted
 		}
-		w := int(s.shard(b.reqs[i].Key) % uint64(nw))
+		var w int
+		fr := b.reqs[i].frame
+		if fr.n > 0 {
+			w = int(fr.shard)
+		} else {
+			w = s.shardOfKey(&b.reqs[i].Key)
+		}
 		j := perWorker[w]
 		if j == nil {
 			j = &batchJob{resp: resp}
@@ -378,6 +452,21 @@ func (s *Service) submitNonblocking(b *Batch, resp chan<- Result) error {
 		j.keys = append(j.keys, b.reqs[i].Key)
 		j.metas = append(j.metas, b.reqs[i].Meta)
 		j.idx = append(j.idx, i)
+		if wirePath {
+			if fr.n > 0 {
+				// Re-base the frame into the job's own arena: the batch's
+				// may be overwritten the moment this call returns.
+				off := len(j.wire)
+				j.wire = append(j.wire, b.wire[fr.off:fr.off+fr.n]...)
+				fr.off = off
+			}
+			j.frames = append(j.frames, fr)
+			if j.wire == nil {
+				// Keep the wire-path marker truthful even for a job that so
+				// far holds only key-routed entries.
+				j.wire = []byte{}
+			}
+		}
 		b.reqs[i].Result = Result{}
 	}
 	for w, j := range perWorker {
@@ -400,7 +489,7 @@ func (s *Service) submitNonblocking(b *Batch, resp chan<- Result) error {
 // enqueueOne is the single-packet nonblocking path: one packet message,
 // no job bookkeeping.
 func (s *Service) enqueueOne(k gigaflow.Key, meta uint8, resp chan<- Result) error {
-	w := s.workers[int(s.shard(k)%uint64(len(s.workers)))]
+	w := s.workers[s.shardOfKey(&k)]
 	select {
 	case w.in <- packet{key: k, meta: meta, resp: resp}:
 		return nil

@@ -8,69 +8,6 @@ import (
 	"gigaflow"
 )
 
-// TestAliasFolding checks the one-release migration contract: a config
-// written entirely against the deprecated flat fields builds the same
-// service as its nested equivalent.
-func TestAliasFolding(t *testing.T) {
-	flat := Config{
-		Workers:       1,
-		Cache:         gigaflow.CacheConfig{NumTables: 3, TableCapacity: 3 * 256},
-		ExpireEvery:   7 * time.Second,
-		MaxIdle:       time.Minute,
-		UpcallWorkers: 2,
-		UpcallQueue:   512,
-		UpcallBatch:   16,
-		NoLatency:     true,
-	}
-	folded, err := flat.foldAliases()
-	if err != nil {
-		t.Fatal(err)
-	}
-	if folded.Expiry.Every != 7*time.Second || folded.Expiry.MaxIdle != time.Minute {
-		t.Errorf("Expiry section not folded: %+v", folded.Expiry)
-	}
-	if folded.Upcall.Workers != 2 || folded.Upcall.Queue != 512 || folded.Upcall.Batch != 16 {
-		t.Errorf("Upcall section not folded: %+v", folded.Upcall)
-	}
-	if !folded.Latency.Disable {
-		t.Error("Latency.Disable not folded")
-	}
-	if folded.ExpireEvery != 0 || folded.MaxIdle != 0 || folded.UpcallWorkers != 0 ||
-		folded.UpcallQueue != 0 || folded.UpcallBatch != 0 || folded.NoLatency {
-		t.Errorf("flat aliases not cleared after folding: %+v", folded)
-	}
-	// The folded config must actually build.
-	if _, err := New(buildPipeline(), flat); err != nil {
-		t.Fatalf("flat-alias config rejected: %v", err)
-	}
-}
-
-// TestAliasConflict: setting a flat field AND its nested replacement is
-// ambiguous and must be rejected, never silently resolved.
-func TestAliasConflict(t *testing.T) {
-	cases := []struct {
-		name string
-		cfg  Config
-	}{
-		{"ExpireEvery", Config{ExpireEvery: time.Second, Expiry: ExpiryConfig{Every: time.Second, MaxIdle: time.Minute}}},
-		{"MaxIdle", Config{MaxIdle: time.Second, Expiry: ExpiryConfig{MaxIdle: time.Minute}}},
-		{"UpcallWorkers", Config{UpcallWorkers: 1, Upcall: UpcallConfig{Workers: 2}}},
-		{"NoLatency", Config{NoLatency: true, Latency: LatencyConfig{Disable: true}}},
-		{"FlightRecords", Config{FlightRecords: 8, Latency: LatencyConfig{FlightRecords: 8}}},
-	}
-	for _, tc := range cases {
-		t.Run(tc.name, func(t *testing.T) {
-			_, err := New(buildPipeline(), tc.cfg)
-			if err == nil || !strings.Contains(err.Error(), "both") {
-				t.Fatalf("err = %v, want both-set conflict", err)
-			}
-			if !strings.Contains(err.Error(), tc.name) {
-				t.Errorf("err %q does not name the conflicting field %s", err, tc.name)
-			}
-		})
-	}
-}
-
 // TestConntrackConfigValidation covers the stateful section's contract.
 func TestConntrackConfigValidation(t *testing.T) {
 	cases := []struct {

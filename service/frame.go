@@ -105,19 +105,38 @@ type Frame struct {
 	Data   []byte
 }
 
-// SubmitFrameBatch decodes frames into b — which it Resets first — and
-// submits the decodable ones as a single batch with SubmitBatch's
-// semantics. The batch is index-aligned with frames: request i holds
-// frame i's key and Result. Frames the decoder refuses are never
-// submitted; their requests carry the *FrameError in Result.Err
-// (matching ErrBadFrame and the specific sentinel, e.g. ErrShortFrame),
-// so a mixed batch reports per-index outcomes. Each frame is decoded
-// before the next is read, so the caller may back every entry's Data
-// with one reused buffer per record (the pcap reader's streaming
-// contract).
+// SubmitFrameBatch ingests raw frames into b — which it Resets first —
+// and submits them as a single batch with SubmitBatch's semantics. The
+// batch is index-aligned with frames: request i holds frame i's key and
+// Result.
+//
+// Ingestion is RSS-style: each frame's 5-tuple is extracted straight
+// from its L3/L4 header words (wire.RSSTuple) and the frame's bytes are
+// routed — still undecoded — to the shard worker the symmetric hash
+// picks, where the full decode runs in parallel with every other
+// shard's. Frames the extractor refuses (non-IPv4, truncated headers,
+// over-deep VLAN stacks) fall back to submitter-side decode plus
+// key-hash routing, which lands on the same shard the wire hash would
+// have and preserves the degraded-frame semantics bit for bit; of
+// those, frames too short for an Ethernet header are never submitted and
+// carry the *FrameError in Result.Err (matching ErrBadFrame and the
+// specific sentinel, e.g. ErrShortFrame), so a mixed batch reports
+// per-index outcomes.
+//
+// Every frame's bytes are captured (copied into the batch's arena or
+// decoded) before the next entry is read, so the caller may back every
+// entry's Data with one reused buffer per record (the pcap reader's
+// streaming contract). After a blocking submission each request's Key
+// and Meta hold the decoded values regardless of which side ran the
+// decoder; a nonblocking submission leaves wire-routed requests' Key
+// zero (the decode happens later, on the shard).
 func (s *Service) SubmitFrameBatch(ctx context.Context, frames []Frame, b *Batch, opts ...SubmitOption) error {
 	b.Reset()
 	for _, f := range frames {
+		if t, ok := wire.RSSTuple(f.Data); ok {
+			b.addFrame(f.InPort, f.Data, s.shardOfTuple(t))
+			continue
+		}
 		k, info := s.DecodeFrame(f.InPort, f.Data)
 		if info.Err == wire.ErrShortFrame {
 			b.addRejected(&FrameError{Code: info.Err})

@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"gigaflow"
+	wire "gigaflow/internal/packet"
 	"gigaflow/internal/telemetry"
 	"gigaflow/internal/upcall"
 )
@@ -167,12 +168,18 @@ func (c LatencyConfig) validate() error {
 // Config). With Enable set, every worker runs a conntrack table in front
 // of its pipeline: ct_state bits are folded into the key the caches and
 // slowpath match on, and stateful NAT actions (dnat/snat/ct_nat) resolve
-// against per-connection bindings. Flows are then sharded symmetrically —
+// against per-connection bindings. Flows are sharded symmetrically —
 // both directions of a 5-tuple land on the same worker, so its private
-// table sees the whole conversation. NAT rewrites change the reply
-// tuple, which symmetric sharding cannot follow across workers: run NAT
-// pipelines with Workers=1 (or an external affinity scheme) when replies
-// must be tracked.
+// table sees the whole conversation with no cross-shard locks.
+//
+// NAT pipelines scale past one worker through pool partitioning: New
+// splits every NAT pool into disjoint per-shard sub-ranges (each pool
+// therefore needs at least Workers targets), so a shard only ever binds
+// connections to endpoints it owns, and replies — which arrive on the
+// translated tuple, outside the forward direction's symmetric hash —
+// are routed to the owning shard by an endpoint→shard map consulted
+// before the hash. Pool endpoints must be disjoint from the client
+// endpoint space for that routing to be unambiguous.
 type ConntrackConfig struct {
 	// Enable turns connection tracking on.
 	Enable bool
@@ -252,73 +259,10 @@ type Config struct {
 	TraceSample int
 	// TraceBuffer bounds the ring of retained traces (default 256).
 	TraceBuffer int
-
-	// Deprecated: use Expiry.Every. Folded into the section when the
-	// section field is unset; setting both is a configuration error.
-	ExpireEvery time.Duration
-	// Deprecated: use Expiry.MaxIdle.
-	MaxIdle time.Duration
-	// Deprecated: use Upcall.Workers.
-	UpcallWorkers int
-	// Deprecated: use Upcall.Queue.
-	UpcallQueue int
-	// Deprecated: use Upcall.Batch.
-	UpcallBatch int
-	// Deprecated: use Upcall.Overflow.
-	UpcallOverflow OverflowPolicy
-	// Deprecated: use Latency.Disable.
-	NoLatency bool
-	// Deprecated: use Latency.FlightRecords.
-	FlightRecords int
-	// Deprecated: use Latency.Spike.
-	LatencySpike time.Duration
-}
-
-// foldAliases migrates the deprecated flat fields into their sections so
-// the rest of the service reads only the nested form. A flat field whose
-// section counterpart is also set is a conflict, not a tiebreak.
-func (c Config) foldAliases() (Config, error) {
-	type alias struct {
-		name    string
-		set     bool // flat field set
-		both    bool // section field also set
-		migrate func(*Config)
-	}
-	aliases := []alias{
-		{"ExpireEvery/Expiry.Every", c.ExpireEvery != 0, c.Expiry.Every != 0,
-			func(c *Config) { c.Expiry.Every = c.ExpireEvery; c.ExpireEvery = 0 }},
-		{"MaxIdle/Expiry.MaxIdle", c.MaxIdle != 0, c.Expiry.MaxIdle != 0,
-			func(c *Config) { c.Expiry.MaxIdle = c.MaxIdle; c.MaxIdle = 0 }},
-		{"UpcallWorkers/Upcall.Workers", c.UpcallWorkers != 0, c.Upcall.Workers != 0,
-			func(c *Config) { c.Upcall.Workers = c.UpcallWorkers; c.UpcallWorkers = 0 }},
-		{"UpcallQueue/Upcall.Queue", c.UpcallQueue != 0, c.Upcall.Queue != 0,
-			func(c *Config) { c.Upcall.Queue = c.UpcallQueue; c.UpcallQueue = 0 }},
-		{"UpcallBatch/Upcall.Batch", c.UpcallBatch != 0, c.Upcall.Batch != 0,
-			func(c *Config) { c.Upcall.Batch = c.UpcallBatch; c.UpcallBatch = 0 }},
-		{"UpcallOverflow/Upcall.Overflow", c.UpcallOverflow != OverflowInline, c.Upcall.Overflow != OverflowInline,
-			func(c *Config) { c.Upcall.Overflow = c.UpcallOverflow; c.UpcallOverflow = OverflowInline }},
-		{"NoLatency/Latency.Disable", c.NoLatency, c.Latency.Disable,
-			func(c *Config) { c.Latency.Disable = c.NoLatency; c.NoLatency = false }},
-		{"FlightRecords/Latency.FlightRecords", c.FlightRecords != 0, c.Latency.FlightRecords != 0,
-			func(c *Config) { c.Latency.FlightRecords = c.FlightRecords; c.FlightRecords = 0 }},
-		{"LatencySpike/Latency.Spike", c.LatencySpike != 0, c.Latency.Spike != 0,
-			func(c *Config) { c.Latency.Spike = c.LatencySpike; c.LatencySpike = 0 }},
-	}
-	for _, a := range aliases {
-		if !a.set {
-			continue
-		}
-		if a.both {
-			return c, fmt.Errorf("service: both %s set (drop the deprecated flat field)", a.name)
-		}
-		a.migrate(&c)
-	}
-	return c, nil
 }
 
 // validate rejects nonsensical configurations instead of silently
-// papering over them with defaults. It runs on the folded config, so all
-// checks read the nested sections.
+// papering over them with defaults.
 func (c Config) validate() error {
 	if c.Workers < 0 {
 		return fmt.Errorf("service: negative Workers (%d)", c.Workers)
@@ -428,6 +372,7 @@ type packet struct {
 type worker struct {
 	vs    *gigaflow.VSwitch
 	rec   *telemetry.LatencyRecorder // nil when Config.Latency.Disable
+	fm    *frameMetrics              // shared frame accounting (atomic counters)
 	in    chan packet
 	label string // worker index, precomputed for metric labels
 
@@ -466,13 +411,24 @@ const (
 	stateClosed
 )
 
+// natEndpoint is one NAT pool target's (IP, port) pair, the lookup key
+// of the reply-routing owner map.
+type natEndpoint struct {
+	ip, port uint64
+}
+
 // Service is a running multi-worker vSwitch.
 type Service struct {
 	cfg     Config
 	workers []*worker
-	// symShard: conntrack mode shards flows symmetrically so both
-	// directions of a connection land on one worker's private table.
-	symShard bool
+	// natOwner routes NAT'd reply traffic: with conntrack enabled,
+	// Workers > 1, and NAT pools defined, it maps every pool endpoint to
+	// the shard whose partitioned sub-pool owns it. A reply arrives on
+	// the translated tuple — outside the forward direction's symmetric
+	// hash — but its source endpoint is the bound backend, which only
+	// the owning shard can have picked, so the map finds the shard that
+	// holds the connection. Nil otherwise (pure symmetric sharding).
+	natOwner map[natEndpoint]int
 
 	// Asynchronous offload (Config.Upcall.Workers > 0): the shared miss
 	// queue and the engine draining it. Nil when running synchronously.
@@ -499,24 +455,40 @@ type Service struct {
 // be retained or discarded freely by the caller; post-start rule changes
 // must go through UpdateRules.
 func New(p *gigaflow.Pipeline, cfg Config) (*Service, error) {
-	cfg, err := cfg.foldAliases()
-	if err != nil {
-		return nil, err
-	}
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
 	cfg = cfg.withDefaults()
 	s := &Service{
-		cfg:      cfg,
-		symShard: cfg.Conntrack.Enable,
-		reg:      telemetry.NewRegistry(),
-		tracer:   telemetry.NewTracer(cfg.TraceSample, cfg.TraceBuffer),
-		term:     make(chan struct{}),
+		cfg:    cfg,
+		reg:    telemetry.NewRegistry(),
+		tracer: telemetry.NewTracer(cfg.TraceSample, cfg.TraceBuffer),
+		term:   make(chan struct{}),
 	}
 	s.latency = s.reg.Histogram("gigaflow_submit_latency_ns",
 		"End-to-end Submit latency (enqueue to result) in nanoseconds.")
 	s.frames = newFrameMetrics(s.reg)
+
+	natParts, err := partitionNATPools(p, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if natParts != nil {
+		s.natOwner = make(map[natEndpoint]int)
+		for _, parts := range natParts {
+			for w, sub := range parts {
+				for _, t := range sub {
+					ep := natEndpoint{t.IP, t.Port}
+					if prev, dup := s.natOwner[ep]; dup && prev != w {
+						return nil, fmt.Errorf(
+							"service: NAT endpoint %d:%d appears in differently-owned pool partitions (shards %d and %d)",
+							t.IP, t.Port, prev, w)
+					}
+					s.natOwner[ep] = w
+				}
+			}
+		}
+	}
 
 	var program strings.Builder
 	if err := gigaflow.DumpPipeline(&program, p); err != nil {
@@ -528,6 +500,11 @@ func New(p *gigaflow.Pipeline, cfg Config) (*Service, error) {
 			return nil, err
 		}
 		replica.SetStart(p.Start)
+		// Shard i's replica sees only its own sub-range of every NAT
+		// pool, so its bindings stay inside the endpoints it owns.
+		for id, parts := range natParts {
+			replica.SetNATPool(id, parts[i])
+		}
 		opts := []gigaflow.VSwitchOption{gigaflow.WithTracer(s.tracer)}
 		if cfg.Expiry.MaxIdle > 0 {
 			opts = append(opts, gigaflow.WithMaxIdle(cfg.Expiry.MaxIdle.Nanoseconds()))
@@ -558,6 +535,7 @@ func New(p *gigaflow.Pipeline, cfg Config) (*Service, error) {
 		}
 		w := &worker{
 			rec:   rec,
+			fm:    s.frames,
 			in:    make(chan packet, cfg.QueueDepth),
 			label: fmt.Sprintf("%d", i),
 		}
@@ -688,6 +666,21 @@ func (w *worker) run(pkt packet) {
 // channel message for all of them. now is the message's single wall-clock
 // stamp, shared by every packet in the job.
 func (w *worker) runJob(j *batchJob, now int64) {
+	// Wire-path entries arrive as raw frame bytes: the submitter routed
+	// them by the RSS hash alone, so the full decode runs here, on the
+	// owning shard — in parallel across workers — before the batch scan.
+	if j.wire != nil {
+		for i := range j.frames {
+			fr := j.frames[i]
+			if fr.n == 0 {
+				continue // key-routed entry, already decoded
+			}
+			k, info := wire.Decode(j.wire[fr.off:fr.off+fr.n], fr.inPort)
+			w.fm.observe(info, fr.n)
+			j.keys[i] = k
+			j.metas[i] = info.TCPFlags
+		}
+	}
 	n := len(j.keys)
 	if cap(w.procOut) < n {
 		w.procOut = make([]gigaflow.ProcessResult, n)
@@ -956,13 +949,134 @@ func shareOf(total, n, i int) int {
 	return share
 }
 
-// shard hashes a key for RSS sharding — FlowHash (the same fingerprint
-// the flight recorder logs for cold events), or its endpoint-symmetric
-// variant in conntrack mode, where forward and reply packets of a
-// connection must reach the same worker's private table.
-func (s *Service) shard(k gigaflow.Key) uint64 {
-	if s.symShard {
-		return k.SymHash()
+// partitionNATPools splits every NAT pool of p into Workers disjoint
+// contiguous sub-ranges — worker w gets len/W targets plus one unit of
+// the remainder for the first len%W workers, so the sub-ranges cover the
+// pool exactly. A shard holding only its own sub-range can never bind a
+// connection to an endpoint another shard owns, which is what makes the
+// natOwner reply-routing map well defined. Returns nil (no partitioning,
+// no owner map) when conntrack is off, no pools exist, or Workers is 1 —
+// the single worker keeps the full pool with zero routing overhead.
+func partitionNATPools(p *gigaflow.Pipeline, cfg Config) (map[uint16][][]gigaflow.NATTarget, error) {
+	ids := p.NATPoolIDs()
+	if !cfg.Conntrack.Enable || len(ids) == 0 || cfg.Workers == 1 {
+		return nil, nil
 	}
-	return k.FlowHash()
+	parts := make(map[uint16][][]gigaflow.NATTarget, len(ids))
+	for _, id := range ids {
+		pool := p.NATPool(id)
+		if len(pool) < cfg.Workers {
+			return nil, fmt.Errorf(
+				"service: NAT pool %d has %d targets but Workers is %d — per-shard partitioning needs at least one target per worker",
+				id, len(pool), cfg.Workers)
+		}
+		sub := make([][]gigaflow.NATTarget, cfg.Workers)
+		off := 0
+		for w := 0; w < cfg.Workers; w++ {
+			n := len(pool) / cfg.Workers
+			if w < len(pool)%cfg.Workers {
+				n++
+			}
+			sub[w] = pool[off : off+n]
+			off += n
+		}
+		parts[id] = sub
+	}
+	return parts, nil
+}
+
+// shardOfKey routes a decoded key to its owning worker. The base rule is
+// the endpoint-symmetric 5-tuple hash — both directions of a connection
+// land on one shard, and it is bit-identical to the wire-bytes RSS hash
+// (flow.SymHash5 under both), so key-routed and wire-routed packets of a
+// flow always agree. With partitioned NAT pools the hash is preceded by
+// the owner map: a NAT'd reply arrives on the translated tuple, whose
+// hash knows nothing of the forward direction, but its source endpoint
+// is the bound backend — owned by exactly one shard. The source side is
+// checked first (replies FROM a backend), then the destination (already
+// translated keys flowing toward one, e.g. re-submissions of rewritten
+// traffic).
+//
+//gf:hotpath
+func (s *Service) shardOfKey(k *gigaflow.Key) int {
+	if s.natOwner != nil {
+		if w, ok := s.natOwner[natEndpoint{k.Get(gigaflow.FieldIPSrc), k.Get(gigaflow.FieldTpSrc)}]; ok {
+			return w
+		}
+		if w, ok := s.natOwner[natEndpoint{k.Get(gigaflow.FieldIPDst), k.Get(gigaflow.FieldTpDst)}]; ok {
+			return w
+		}
+	}
+	return int(k.SymHash() % uint64(len(s.workers)))
+}
+
+// shardOfTuple is shardOfKey for a wire-extracted 5-tuple: same owner-map
+// precedence, same symmetric hash, so a frame routed from its raw bytes
+// lands exactly where its decoded key would have.
+//
+//gf:hotpath
+func (s *Service) shardOfTuple(t wire.Tuple) int {
+	if s.natOwner != nil {
+		if w, ok := s.natOwner[natEndpoint{t.SrcIP, t.SrcPort}]; ok {
+			return w
+		}
+		if w, ok := s.natOwner[natEndpoint{t.DstIP, t.DstPort}]; ok {
+			return w
+		}
+	}
+	return int(t.SymHash() % uint64(len(s.workers)))
+}
+
+// ShardStat is one worker shard's live-occupancy snapshot: how many
+// packets it has processed and how much flow state it currently holds —
+// the per-shard view of the churn story (live connections, idle expiry,
+// capacity eviction) that aggregate counters average away.
+type ShardStat struct {
+	Worker       int    `json:"worker"`
+	Packets      uint64 `json:"packets"`
+	CacheEntries int    `json:"cache_entries"`
+	Microflow    int    `json:"microflow_entries"`
+	CtLive       int    `json:"ct_live"`
+	CtCreated    uint64 `json:"ct_created"`
+	CtExpired    uint64 `json:"ct_expired"`
+	CtEvicted    uint64 `json:"ct_evicted"`
+}
+
+// ShardStats snapshots every worker shard on its own goroutine (the same
+// control-op discipline as Stats, so the counters are coherent per
+// shard). The slice is indexed by worker.
+func (s *Service) ShardStats(ctx context.Context) ([]ShardStat, error) {
+	out := make([]ShardStat, len(s.workers))
+	done := make(chan struct{}, len(s.workers))
+	for i, w := range s.workers {
+		i, w := i, w
+		op := packet{control: func() {
+			st := ShardStat{Worker: i, Packets: w.vs.Stats().Packets, CacheEntries: w.vs.CacheEntries()}
+			if mf := w.vs.Microflow(); mf != nil {
+				st.Microflow = mf.Len()
+			}
+			if ct := w.vs.Conntrack(); ct != nil {
+				cs := ct.Stats()
+				st.CtLive = ct.Len()
+				st.CtCreated = cs.Created
+				st.CtExpired = cs.Expired
+				st.CtEvicted = cs.EvictLRU
+			}
+			out[i] = st
+			done <- struct{}{}
+		}}
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case w.in <- op:
+		}
+	}
+	for range s.workers {
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-done:
+		}
+	}
+	return out, nil
 }

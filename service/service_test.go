@@ -161,9 +161,9 @@ func TestUpdateRulesRevalidatesAllReplicas(t *testing.T) {
 func TestSameFlowSameWorker(t *testing.T) {
 	s, _ := startService(t, 4)
 	k := key(7, 80)
-	w1 := s.workers[int(s.shard(k)%uint64(len(s.workers)))]
+	w1 := s.workers[s.shardOfKey(&k)]
 	for i := 0; i < 10; i++ {
-		w2 := s.workers[int(s.shard(k)%uint64(len(s.workers)))]
+		w2 := s.workers[s.shardOfKey(&k)]
 		if w1 != w2 {
 			t.Fatal("shard hash not stable")
 		}

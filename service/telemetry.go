@@ -270,6 +270,7 @@ func (s *Service) flightTelemetry(ctx context.Context, n int) ([]workerFlight, e
 //	/metrics      Prometheus text (?format=json for JSON)
 //	/traces       recent sampled traversal traces (?n= caps the count)
 //	/cache        per-worker, per-table cache occupancy and counters
+//	/shards       per-shard packet/occupancy/conntrack-churn counters
 //	/latency      per-worker and aggregate per-tier latency ladders
 //	/debug/flight per-worker flight-recorder dump (?n= caps records)
 //	/debug/pprof  net/http/pprof profiles
@@ -286,6 +287,7 @@ func (s *Service) TelemetryHandler() http.Handler {
 <li><a href="/metrics">/metrics</a> (Prometheus; <a href="/metrics?format=json">json</a>)</li>
 <li><a href="/traces">/traces</a></li>
 <li><a href="/cache">/cache</a></li>
+<li><a href="/shards">/shards</a></li>
 <li><a href="/latency">/latency</a></li>
 <li><a href="/debug/flight">/debug/flight</a></li>
 <li><a href="/debug/pprof/">/debug/pprof/</a></li>
@@ -330,6 +332,23 @@ func (s *Service) TelemetryHandler() http.Handler {
 			Backend string            `json:"backend"`
 			Workers []workerTelemetry `json:"workers"`
 		}{s.cfg.Backend.String(), workers})
+	})
+	mux.HandleFunc("/shards", func(w http.ResponseWriter, r *http.Request) {
+		ctx, cancel := context.WithTimeout(r.Context(), collectTimeout)
+		defer cancel()
+		shards, err := s.ShardStats(ctx)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(struct {
+			Workers   int         `json:"workers"`
+			Conntrack bool        `json:"conntrack"`
+			Shards    []ShardStat `json:"shards"`
+		}{len(s.workers), s.cfg.Conntrack.Enable, shards})
 	})
 	mux.HandleFunc("/latency", func(w http.ResponseWriter, r *http.Request) {
 		ctx, cancel := context.WithTimeout(r.Context(), collectTimeout)

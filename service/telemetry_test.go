@@ -26,7 +26,7 @@ func TestConfigValidation(t *testing.T) {
 		{"zero value ok", Config{}, ""},
 		{"negative workers", Config{Workers: -1}, "Workers"},
 		{"negative queue", Config{QueueDepth: -5}, "QueueDepth"},
-		{"negative maxidle", Config{MaxIdle: -time.Second}, "MaxIdle"},
+		{"negative maxidle", Config{Expiry: ExpiryConfig{MaxIdle: -time.Second}}, "MaxIdle"},
 		{"expiry without maxidle", Config{Expiry: ExpiryConfig{Every: time.Second}}, "MaxIdle is 0"},
 		{"negative microflow", Config{MicroflowCapacity: -1}, "MicroflowCapacity"},
 		{"negative trace sample", Config{TraceSample: -1}, "TraceSample"},
@@ -297,6 +297,42 @@ func TestCacheEndpoint(t *testing.T) {
 	}
 }
 
+func TestShardsEndpoint(t *testing.T) {
+	s, base := startTelemetryService(t, Config{
+		Workers: 2,
+		Cache:   gigaflow.CacheConfig{NumTables: 3, TableCapacity: 3 * 256},
+	})
+	ctx := context.Background()
+	for i := 0; i < 10; i++ {
+		if _, err := s.Submit(ctx, key(uint64(i), 80)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	out := httpGet(t, base+"/shards")
+	var doc struct {
+		Workers   int         `json:"workers"`
+		Conntrack bool        `json:"conntrack"`
+		Shards    []ShardStat `json:"shards"`
+	}
+	if err := json.Unmarshal([]byte(out), &doc); err != nil {
+		t.Fatalf("shards JSON: %v\n%s", err, out)
+	}
+	if doc.Workers != 2 || doc.Conntrack || len(doc.Shards) != 2 {
+		t.Fatalf("workers=%d conntrack=%v shards=%d", doc.Workers, doc.Conntrack, len(doc.Shards))
+	}
+	var packets uint64
+	for i, sh := range doc.Shards {
+		if sh.Worker != i {
+			t.Errorf("shard %d labeled worker %d", i, sh.Worker)
+		}
+		packets += sh.Packets
+	}
+	if packets != 10 {
+		t.Errorf("total packets = %d, want 10", packets)
+	}
+}
+
 func TestDebugEndpointsServed(t *testing.T) {
 	_, base := startTelemetryService(t, Config{})
 	if out := httpGet(t, base+"/debug/vars"); !strings.Contains(out, "memstats") {
@@ -484,7 +520,7 @@ func TestConcurrentScrape(t *testing.T) {
 		}
 	}()
 	var scrapers sync.WaitGroup
-	for _, ep := range []string{"/metrics", "/traces", "/cache", "/latency", "/debug/flight?n=32"} {
+	for _, ep := range []string{"/metrics", "/traces", "/cache", "/shards", "/latency", "/debug/flight?n=32"} {
 		ep := ep
 		scrapers.Add(1)
 		go func() {
